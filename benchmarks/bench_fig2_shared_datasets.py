@@ -1,0 +1,71 @@
+"""Figure 2: shared data sets in five production clusters.
+
+Paper (one-week window, five clusters): "more than half of the datasets
+are shared across multiple distinct consumers.  Furthermore, several
+datasets are consumed tens to hundreds of times, with few getting reused
+thousands of times as well.  Cluster1 in particular sees more shared data
+sets since that feeds into the Asimov platform ... 10% of the inputs on
+this cluster get reused by more than 16 downstream consumers.  For other
+clusters, 10% of the inputs are consumed by 7 or more downstream
+consumers."
+"""
+
+from repro.workload import consumer_distribution, sharing_summary
+from repro.workload.profiling import synthesize_dataset_sharing
+
+#: Cluster1 is Asimov-fed: more consumers per stream, heavier skew.
+CLUSTERS = {
+    "Cluster1": dict(seed=1, streams=350, consumers=2200,
+                     reads_per_consumer=4, skew=1.12),
+    "Cluster2": dict(seed=2, streams=400, consumers=900,
+                     reads_per_consumer=3, skew=1.05),
+    "Cluster3": dict(seed=3, streams=380, consumers=850,
+                     reads_per_consumer=3, skew=1.02),
+    "Cluster4": dict(seed=4, streams=420, consumers=950,
+                     reads_per_consumer=3, skew=1.06),
+    "Cluster5": dict(seed=5, streams=360, consumers=800,
+                     reads_per_consumer=3, skew=1.0),
+}
+
+
+def test_fig2_shared_dataset_cdf(benchmark):
+    def analyze():
+        results = {}
+        for cluster, params in CLUSTERS.items():
+            repository = synthesize_dataset_sharing(cluster, **params)
+            results[cluster] = (consumer_distribution(repository),
+                                sharing_summary(repository))
+        return results
+
+    results = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    print("\nFigure 2: distinct consumers per input stream (CDF samples)")
+    fractions = [0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    header = "".join(f"{f:>9.2f}" for f in fractions)
+    print(f"{'cluster':<10}{header}  shared%  p90  max")
+    for cluster, (points, summary) in results.items():
+        samples = []
+        for fraction in fractions:
+            eligible = [p.distinct_consumers for p in points
+                        if p.fraction_of_streams <= fraction]
+            samples.append(eligible[-1] if eligible else 0)
+        row = "".join(f"{s:>9d}" for s in samples)
+        print(f"{cluster:<10}{row}  {summary['shared_fraction']:>6.0%} "
+              f"{summary['p90_consumers']:>4.0f} "
+              f"{summary['max_consumers']:>4.0f}")
+
+    for cluster, (points, summary) in results.items():
+        # More than half of the datasets are shared.
+        assert summary["shared_fraction"] > 0.5, cluster
+        # Heavy tail: the most popular stream has far more consumers than
+        # the median stream.
+        median = points[len(points) // 2].distinct_consumers
+        assert summary["max_consumers"] > 10 * max(1, median), cluster
+
+    # Cluster1's Asimov effect: its p90 exceeds the other clusters'.
+    c1_p90 = results["Cluster1"][1]["p90_consumers"]
+    others = [results[c][1]["p90_consumers"] for c in results
+              if c != "Cluster1"]
+    assert c1_p90 > max(others)
+    assert c1_p90 >= 16  # "reused by more than 16 downstream consumers"
+    assert all(p90 >= 7 for p90 in others)  # "consumed by 7 or more"

@@ -1,0 +1,30 @@
+"""Figure 6d: cumulative bonus (opportunistic) processing time.
+
+Paper: ~45% reduction -- "by sharing common computations and not
+re-executing them with a lot of variance each time, CloudViews can reduce
+the reliance on bonus processing and hence improve job predictability."
+"""
+
+from series_util import (
+    assert_cumulative_monotone,
+    final_improvement,
+    paired_series,
+    print_series,
+)
+
+
+def test_fig6d_cumulative_bonus(benchmark, enabled_report, baseline_report):
+    rows = benchmark.pedantic(
+        lambda: paired_series(enabled_report, baseline_report,
+                              "bonus_processing_time"),
+        rounds=1, iterations=1)
+    print_series("Figure 6d: cumulative bonus processing", "container-s", rows)
+    assert_cumulative_monotone(rows)
+    improvement = final_improvement(rows)
+    print(f"cumulative bonus improvement: {improvement:.1f}% (paper: 45%)")
+    assert improvement > 15.0
+
+    # Shape: the bonus-time reduction is at least as strong as the latency
+    # reduction (in the paper it is the largest time-metric gain).
+    latency_rows = paired_series(enabled_report, baseline_report, "latency")
+    assert improvement > final_improvement(latency_rows) - 10.0

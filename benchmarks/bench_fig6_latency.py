@@ -1,0 +1,35 @@
+"""Figure 6b: daily cumulative job latency, baseline vs CloudViews.
+
+Paper: ~34% cumulative latency gain, median per-job 15%, but "latency
+improvements are staggered and minimal on several days" because reuse only
+helps latency when the reused fragment lies on the critical path.
+"""
+
+from series_util import (
+    assert_cumulative_monotone,
+    final_improvement,
+    paired_series,
+    print_series,
+)
+
+
+def test_fig6b_cumulative_latency(benchmark, enabled_report, baseline_report):
+    rows = benchmark.pedantic(
+        lambda: paired_series(enabled_report, baseline_report, "latency"),
+        rounds=1, iterations=1)
+    print_series("Figure 6b: cumulative latency", "s", rows)
+    assert_cumulative_monotone(rows)
+    improvement = final_improvement(rows)
+    print(f"cumulative latency improvement: {improvement:.1f}% (paper: 34%)")
+    assert 10.0 < improvement < 70.0
+
+    # Staggered gains: the per-day latency gain varies across days.
+    daily_gains = []
+    previous = (0.0, 0.0)
+    for _, base, cv in rows:
+        day_base = base - previous[0]
+        day_cv = cv - previous[1]
+        previous = (base, cv)
+        if day_base > 0:
+            daily_gains.append((day_base - day_cv) / day_base)
+    assert max(daily_gains) - min(daily_gains) > 0.05

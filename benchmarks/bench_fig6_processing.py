@@ -1,0 +1,34 @@
+"""Figure 6c: daily cumulative processing time, baseline vs CloudViews.
+
+Paper: ~39% improvement, and "in contrast to latency, we can see more
+distinct change in processing time" -- savings do not depend on the
+critical path, so every reused fragment contributes.
+"""
+
+from series_util import (
+    assert_cumulative_monotone,
+    final_improvement,
+    paired_series,
+    print_series,
+)
+
+
+def test_fig6c_cumulative_processing(benchmark, enabled_report,
+                                     baseline_report):
+    rows = benchmark.pedantic(
+        lambda: paired_series(enabled_report, baseline_report,
+                              "processing_time"),
+        rounds=1, iterations=1)
+    print_series("Figure 6c: cumulative processing time", "container-s", rows)
+    assert_cumulative_monotone(rows)
+    improvement = final_improvement(rows)
+    print(f"cumulative processing improvement: {improvement:.1f}% (paper: 39%)")
+    assert 15.0 < improvement < 65.0
+
+    # Post-warmup, the gain is consistently visible every single day.
+    previous = (0.0, 0.0)
+    for day, base, cv in rows:
+        day_base, day_cv = base - previous[0], cv - previous[1]
+        previous = (base, cv)
+        if day >= 2 and day_base > 0:
+            assert day_cv < day_base

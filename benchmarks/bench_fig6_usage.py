@@ -1,0 +1,34 @@
+"""Figure 6a: cumulative views built and reused over the window.
+
+Paper: ~58k views created, reused ~350k times over two months -- "much
+more views are reused than created every day", with a periodic (daily)
+creation/reuse pattern after onboarding, each view reused ~6x on average.
+"""
+
+
+def test_fig6a_views_built_vs_reused(benchmark, enabled_report):
+    def series():
+        built = enabled_report.cumulative_daily("views_built")
+        reused = enabled_report.cumulative_daily("views_reused")
+        return built, reused
+
+    built, reused = benchmark.pedantic(series, rounds=1, iterations=1)
+
+    print("\nFigure 6a: cumulative views built vs reused")
+    print(f"{'day':>4} {'built':>10} {'reused':>10}")
+    reused_by_day = dict(reused)
+    for day, built_count in built:
+        print(f"{day:>4} {built_count:>10.0f} "
+              f"{reused_by_day.get(day, 0.0):>10.0f}")
+
+    total_built = built[-1][1]
+    total_reused = reused[-1][1]
+    # Shape: reuse dominates creation, roughly the paper's ~6x.
+    assert total_reused > total_built
+    assert 2.0 < total_reused / max(1.0, total_built) < 20.0
+    # Periodic pattern: views are built on every post-warmup day (daily
+    # bulk updates force just-in-time re-materialization).
+    daily_built = {day: value for day, value in built}
+    deltas = [daily_built[d] - daily_built.get(d - 1, 0.0)
+              for d in sorted(daily_built) if d >= 1]
+    assert all(delta > 0 for delta in deltas[1:])

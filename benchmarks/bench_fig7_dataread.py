@@ -1,0 +1,31 @@
+"""Figure 7c: cumulative total data read, baseline vs CloudViews.
+
+Paper: ~39% less data read -- "very similar to the trend of input read,
+although overall, data read improves by 39%, which is more than the
+improvements in input read" (intermediate I/O shrinks too).
+"""
+
+from series_util import (
+    assert_cumulative_monotone,
+    final_improvement,
+    paired_series,
+    print_series,
+)
+
+
+def test_fig7c_cumulative_data_read(benchmark, enabled_report,
+                                    baseline_report):
+    rows = benchmark.pedantic(
+        lambda: paired_series(enabled_report, baseline_report,
+                              "data_read_bytes"),
+        rounds=1, iterations=1)
+    print_series("Figure 7c: cumulative data read", "bytes", rows)
+    assert_cumulative_monotone(rows)
+    improvement = final_improvement(rows)
+    print(f"cumulative data-read improvement: {improvement:.1f}% (paper: 39%)")
+    assert 15.0 < improvement < 65.0
+
+    # Shape: the data-read gain exceeds the input-size gain (the paper's
+    # observation -- intermediate reads shrink on top of inputs).
+    input_rows = paired_series(enabled_report, baseline_report, "input_bytes")
+    assert improvement > final_improvement(input_rows) - 2.0

@@ -1,0 +1,31 @@
+"""Figure 7b: cumulative input size read, baseline vs CloudViews.
+
+Paper: ~36% smaller inputs -- "quite often the input datasets are
+filtered, selectively joined, or aggregated before they are materialized
+as common subexpressions, which end up being much smaller than the
+initial input sizes."
+"""
+
+from series_util import (
+    assert_cumulative_monotone,
+    final_improvement,
+    paired_series,
+    print_series,
+)
+
+
+def test_fig7b_cumulative_input(benchmark, enabled_report, baseline_report):
+    rows = benchmark.pedantic(
+        lambda: paired_series(enabled_report, baseline_report, "input_bytes"),
+        rounds=1, iterations=1)
+    print_series("Figure 7b: cumulative input size", "bytes", rows)
+    assert_cumulative_monotone(rows)
+    improvement = final_improvement(rows)
+    print(f"cumulative input improvement: {improvement:.1f}% (paper: 36%)")
+    assert 15.0 < improvement < 60.0
+
+    # Mechanism check: reusing jobs read a *smaller* stored input (the
+    # view) instead of the raw streams, never zero input.
+    reusers = [t for t in enabled_report.telemetry if t.views_reused > 0]
+    assert reusers
+    assert all(t.input_bytes > 0 for t in reusers)

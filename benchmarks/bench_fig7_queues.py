@@ -1,0 +1,33 @@
+"""Figure 7d: cumulative queue lengths, baseline vs CloudViews.
+
+Paper: ~13% shorter queues -- "computation reuse can even help reduce the
+queue length due to less computations being done by each job which causes
+them to finish faster" -- the smallest of the Table-1 improvements.
+"""
+
+from series_util import (
+    assert_cumulative_monotone,
+    final_improvement,
+    paired_series,
+    print_series,
+)
+
+
+def test_fig7d_cumulative_queue_lengths(benchmark, enabled_report,
+                                        baseline_report):
+    rows = benchmark.pedantic(
+        lambda: paired_series(enabled_report, baseline_report,
+                              "queue_length_at_submit"),
+        rounds=1, iterations=1)
+    print_series("Figure 7d: cumulative queue lengths", "jobs", rows)
+    assert_cumulative_monotone(rows)
+    improvement = final_improvement(rows)
+    print(f"cumulative queue improvement: {improvement:.1f}% (paper: 13%)")
+    assert improvement > 0.0
+
+    # Shape: the queue-length gain is the smallest of the Table-1 metrics.
+    for metric in ("latency", "processing_time", "bonus_processing_time",
+                   "containers", "input_bytes", "data_read_bytes"):
+        other = final_improvement(
+            paired_series(enabled_report, baseline_report, metric))
+        assert improvement <= other + 1e-9, metric

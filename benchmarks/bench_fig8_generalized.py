@@ -1,0 +1,57 @@
+"""Figure 8: opportunities for more generalized views.
+
+Paper: "the x-axis shows the subexpressions that join the same sets of
+inputs, and the y-axis shows their corresponding frequency ... we see lots
+of generalized subexpressions with frequencies on the order of 10s to
+100s."  These are joins that differ in projections/selections/group-bys
+but could be served by one merged view plus containment rewrites.
+"""
+
+from repro.extensions import ContainmentChecker, join_set_opportunities
+from repro.plan.expressions import BinaryOp, ColumnRef, Literal
+
+
+def test_fig8_generalized_view_opportunities(benchmark, enabled_report):
+    opportunities = benchmark.pedantic(
+        lambda: join_set_opportunities(enabled_report.repository),
+        rounds=1, iterations=1)
+
+    print("\nFigure 8: subexpressions joining the same input sets")
+    print(f"{'join inputs':<40} {'freq':>6} {'variants':>9} {'gain':>6}")
+    for opp in opportunities[:12]:
+        inputs = " JOIN ".join(opp.inputs)
+        print(f"{inputs:<40} {opp.occurrences:>6} "
+              f"{opp.distinct_variants:>9} {opp.generalization_gain:>6}")
+
+    assert opportunities
+    top = opportunities[0]
+    # Shape: the hottest join-set repeats on the order of 10s-100s ...
+    assert top.occurrences >= 10
+    # ... across multiple syntactic variants, i.e. a single generalized
+    # view could cover strictly more than exact matching does.
+    assert top.distinct_variants >= 2
+    assert top.generalization_gain > 0
+    # Several distinct join-sets carry opportunity, not just one.
+    assert sum(1 for o in opportunities if o.occurrences >= 5) >= 2
+
+
+def test_fig8_containment_prototype(benchmark):
+    """The Section-5.3 rewrite the generalized views would rely on."""
+    checker = ContainmentChecker()
+
+    def pred(op, value):
+        return BinaryOp(op, ColumnRef("CustomerId"), Literal(value))
+
+    def check_pairs():
+        outcomes = []
+        for view_val in range(0, 20, 2):
+            for query_val in range(0, 20, 3):
+                outcomes.append(checker.contains(pred(">", view_val),
+                                                 pred(">", query_val)))
+        return outcomes
+
+    outcomes = benchmark.pedantic(check_pairs, rounds=1, iterations=1)
+    assert any(outcomes) and not all(outcomes)
+    # The paper's own example.
+    assert checker.contains(pred(">", 5), pred(">", 6))
+    assert not checker.contains(pred(">", 6), pred(">", 5))

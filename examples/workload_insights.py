@@ -1,0 +1,81 @@
+"""SparkCruise-style workload insights (paper Section 5.5).
+
+SparkCruise ships a "Workload Insights Notebook" that shows data
+engineers their workload's redundancy before they enable computation
+reuse.  This example mirrors that flow: a passive listener logs every
+executed query, the user schedules the analysis themselves, inspects the
+insights, and only then turns reuse on.
+
+Run:  python examples/workload_insights.py
+"""
+
+from repro import ScopeEngine, SelectionPolicy, schema_of
+from repro.extensions import (
+    QueryEventListener,
+    format_insights,
+    run_workload_analysis,
+    workload_insights_report,
+)
+
+DASHBOARD_QUERIES = [
+    ("hourly-errors",
+     "SELECT Service, COUNT(*) AS errors FROM Logs JOIN Services "
+     "WHERE Level = 'ERROR' GROUP BY Service"),
+    ("error-latency",
+     "SELECT Service, AVG(LatencyMs) AS avg_latency "
+     "FROM Logs JOIN Services WHERE Level = 'ERROR' GROUP BY Service"),
+    ("tier-volume",
+     "SELECT Tier, COUNT(*) AS n FROM Logs JOIN Services "
+     "WHERE Level = 'ERROR' GROUP BY Tier"),
+    ("all-traffic",
+     "SELECT Service, COUNT(*) AS n FROM Logs JOIN Services "
+     "GROUP BY Service"),
+]
+
+
+def main() -> None:
+    engine = ScopeEngine()
+    engine.register_table(
+        schema_of("Logs", [("ServiceId", "int"), ("Level", "str"),
+                           ("LatencyMs", "float")]),
+        [dict(ServiceId=i % 12,
+              Level="ERROR" if i % 5 == 0 else "INFO",
+              LatencyMs=float(i % 900)) for i in range(900)])
+    engine.register_table(
+        schema_of("Services", [("ServiceId", "int"), ("Service", "str"),
+                               ("Tier", "str")]),
+        [dict(ServiceId=i, Service=f"svc-{i}",
+              Tier="frontend" if i % 3 else "backend") for i in range(12)])
+
+    # Phase 1: run the cluster's workload with reuse OFF; the listener
+    # logs plans and signatures from the outside (no engine changes).
+    listener = QueryEventListener(engine)
+    print("== Phase 1: observe the workload (reuse disabled) ==")
+    for cycle in range(3):
+        for name, sql in DASHBOARD_QUERIES:
+            run = engine.run_sql(sql, reuse_enabled=False,
+                                 now=cycle * 60.0)
+            listener.on_query_end(run, now=cycle * 60.0,
+                                  application_id="dashboards")
+    print(f"{listener.repository.total_jobs()} queries logged")
+
+    # Phase 2: the Workload Insights Notebook.
+    print("\n== Phase 2: Workload Insights Notebook ==")
+    report = workload_insights_report(listener.repository)
+    print(format_insights(report))
+
+    # Phase 3: convinced -- schedule the analysis and enable reuse.
+    print("\n== Phase 3: enable computation reuse ==")
+    selection = run_workload_analysis(
+        listener, SelectionPolicy(min_reuses_per_epoch=0.0))
+    print(f"published {len(selection.selected)} view selections")
+    for name, sql in DASHBOARD_QUERIES:
+        run = engine.run_sql(sql, now=300.0)
+        print(f"{name:<16} built={run.compiled.built_views} "
+              f"reused={run.compiled.reused_views}")
+    print(f"\nengine totals: {engine.view_store.total_created} views "
+          f"created, {engine.view_store.total_reused} reuses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""CloudViews reproduction: automatic computation reuse for a SCOPE-like
+big-data engine.
+
+Reproduces *Production Experiences from Computation Reuse at Microsoft*
+(EDBT 2021).  The primary entry points:
+
+* :class:`repro.core.CloudViews` -- the reuse manager over a
+  :class:`repro.engine.ScopeEngine` (interactive use, examples);
+* :class:`repro.core.WorkloadSimulation` -- the full cluster-level
+  co-simulation behind the paper's Table 1 and Figures 6-7;
+* :mod:`repro.workload` -- the data-cooking workload generator and the
+  denormalized subexpression repository;
+* :mod:`repro.extensions` -- the Section-5 prototypes (generalized reuse,
+  concurrent joins, checkpointing, sampling, bit-vector filters,
+  SparkCruise-style integration).
+"""
+
+from repro.catalog import Catalog, TableSchema, schema_of
+from repro.core import (
+    CloudViews,
+    DeploymentMode,
+    MultiLevelControls,
+    SimulationConfig,
+    SimulationReport,
+    WorkloadSimulation,
+)
+from repro.engine import CompiledJob, EngineConfig, JobRun, ScopeEngine
+from repro.selection import SelectionPolicy, SelectionResult
+from repro.workload import CookingWorkload, WorkloadRepository, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog", "TableSchema", "schema_of", "CloudViews", "DeploymentMode",
+    "MultiLevelControls", "SimulationConfig", "SimulationReport",
+    "WorkloadSimulation", "CompiledJob", "EngineConfig", "JobRun",
+    "ScopeEngine", "SelectionPolicy", "SelectionResult", "CookingWorkload",
+    "WorkloadRepository", "generate_workload", "__version__",
+]

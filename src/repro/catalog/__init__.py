@@ -1,0 +1,7 @@
+"""Dataset catalog: schemas and versioned stream GUIDs."""
+
+from repro.catalog.catalog import Catalog, DatasetEntry, StreamVersion
+from repro.catalog.schema import ColumnDef, TableSchema, schema_of
+
+__all__ = ["Catalog", "DatasetEntry", "StreamVersion", "ColumnDef",
+           "TableSchema", "schema_of"]

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate``  -- run the paired deployment simulation and print the
+  Table-1 impact summary;
+* ``tpcds``     -- replay the SparkCruise-on-TPC-DS flow (Section 5.5);
+* ``capture``   -- profile a generated workload (compile-only) and save
+  the workload repository to a JSONL capture;
+* ``analyze``   -- load one or more captures and print workload insights
+  (Figure 3 statistics, reuse candidates, join-set opportunities);
+* ``explain``   -- compile a query against the demo catalog and print its
+  optimized plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.runner import SimulationConfig, WorkloadSimulation
+from repro.engine.engine import ScopeEngine
+from repro.selection.policies import SelectionPolicy
+from repro.telemetry.comparison import compare_telemetry
+from repro.workload.generator import generate_workload
+from repro.workload.analysis import pipeline_summary
+from repro.workload.persistence import merge_captures, save_repository
+from repro.workload.profiling import compile_only_repository
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CloudViews reproduction (EDBT 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run the deployment simulation (Table 1)")
+    simulate.add_argument("--days", type=int, default=6)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--virtual-clusters", type=int, default=3)
+    simulate.add_argument("--templates-per-vc", type=int, default=16)
+    simulate.add_argument("--selection", default="bigsubs",
+                          choices=["greedy", "per_vc", "bigsubs"])
+
+    tpcds = sub.add_parser(
+        "tpcds", help="SparkCruise on mini TPC-DS (Section 5.5)")
+    tpcds.add_argument("--scale-rows", type=int, default=2000)
+
+    capture = sub.add_parser(
+        "capture", help="profile a workload and save a JSONL capture")
+    capture.add_argument("output")
+    capture.add_argument("--days", type=int, default=7)
+    capture.add_argument("--seed", type=int, default=7)
+    capture.add_argument("--virtual-clusters", type=int, default=3)
+    capture.add_argument("--templates-per-vc", type=int, default=16)
+
+    analyze = sub.add_parser(
+        "analyze", help="workload insights over saved captures")
+    analyze.add_argument("captures", nargs="+")
+
+    explain = sub.add_parser(
+        "explain", help="compile a query against the demo catalog")
+    explain.add_argument("sql")
+    explain.add_argument("--run-date", default="d0000")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "simulate": _cmd_simulate,
+        "tpcds": _cmd_tpcds,
+        "capture": _cmd_capture,
+        "analyze": _cmd_analyze,
+        "explain": _cmd_explain,
+    }[args.command]
+    return handler(args)
+
+
+# --------------------------------------------------------------------- #
+# commands
+
+
+def _workload(args):
+    return generate_workload(seed=args.seed,
+                             virtual_clusters=args.virtual_clusters,
+                             templates_per_vc=args.templates_per_vc)
+
+
+def _cmd_simulate(args) -> int:
+    reports = {}
+    for enabled in (True, False):
+        label = "cloudviews" if enabled else "baseline"
+        print(f"simulating {args.days} days ({label}) ...")
+        config = SimulationConfig(days=args.days, cloudviews_enabled=enabled,
+                                  selection_algorithm=args.selection)
+        reports[label] = WorkloadSimulation(_workload(args), config).run()
+    enabled, baseline = reports["cloudviews"], reports["baseline"]
+    comparison = compare_telemetry(baseline.telemetry, enabled.telemetry)
+    summary = pipeline_summary(enabled.repository)
+
+    print(f"\n{'Jobs':<42}{summary['jobs']:>12,}")
+    print(f"{'Views Created':<42}{enabled.views_created:>12,}")
+    print(f"{'Views Used':<42}{enabled.views_reused:>12,}")
+    for label, value in comparison.rows():
+        print(f"{label:<42}{value:>11.2f}%")
+    return 0
+
+
+def _cmd_tpcds(args) -> int:
+    from repro.extensions.sparkcruise import (
+        QueryEventListener,
+        run_workload_analysis,
+    )
+    from repro.workload.tpcds import (
+        TPCDS_QUERIES,
+        install_tpcds,
+        run_tpcds_suite,
+    )
+
+    baseline_engine = ScopeEngine()
+    install_tpcds(baseline_engine, scale_rows=args.scale_rows)
+    baseline = run_tpcds_suite(baseline_engine, reuse_enabled=False)
+
+    engine = ScopeEngine()
+    install_tpcds(engine, scale_rows=args.scale_rows)
+    listener = QueryEventListener(engine)
+    for _, sql in TPCDS_QUERIES:
+        run = engine.run_sql(sql, reuse_enabled=False, now=0.0)
+        listener.on_query_end(run, now=0.0)
+    run_workload_analysis(listener, SelectionPolicy(min_reuses_per_epoch=0.0))
+    enabled = run_tpcds_suite(engine, reuse_enabled=True, now=100.0)
+
+    reduction = (baseline["work"] - enabled["work"]) / baseline["work"] * 100
+    print(f"queries:                {len(TPCDS_QUERIES)}")
+    print(f"baseline work:          {baseline['work']:,.0f}")
+    print(f"with reuse:             {enabled['work']:,.0f}")
+    print(f"running-time reduction: {reduction:.1f}% (paper: ~30%)")
+    return 0
+
+
+def _cmd_capture(args) -> int:
+    repository = compile_only_repository(_workload(args), days=args.days)
+    lines = save_repository(repository, args.output)
+    print(f"captured {repository.total_jobs()} jobs / "
+          f"{repository.total_subexpressions()} subexpressions "
+          f"({lines} lines) -> {args.output}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.extensions.generalized import join_set_opportunities
+    from repro.selection.candidates import build_candidates
+    from repro.workload.patterns import discover_patterns
+
+    repository = merge_captures(args.captures)
+    summary = pipeline_summary(repository)
+    print(f"jobs:                   {summary['jobs']:,}")
+    print(f"subexpressions:         {summary['subexpressions']:,}")
+    print(f"virtual clusters:       {summary['virtual_clusters']}")
+    print(f"repeated fraction:      {repository.repeated_fraction():.1%}")
+    print(f"avg repeat frequency:   "
+          f"{repository.average_repeat_frequency():.2f}")
+    candidates = build_candidates(repository)
+    print(f"reuse candidates:       {len(candidates)}")
+    print("top join-sets (Figure 8):")
+    for opportunity in join_set_opportunities(repository)[:5]:
+        print(f"  {' JOIN '.join(opportunity.inputs):<40} "
+              f"x{opportunity.occurrences} "
+              f"({opportunity.distinct_variants} variants)")
+    print("top query patterns (operator chains):")
+    for pattern in discover_patterns(repository)[:5]:
+        print(f"  {pattern.render():<50.50} x{pattern.occurrences}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    engine = ScopeEngine()
+    workload = generate_workload(seed=7, virtual_clusters=1,
+                                 templates_per_vc=1)
+    workload.install(engine)
+    compiled = engine.compile(args.sql, params={"runDate": args.run_date},
+                              reuse_enabled=False)
+    print(compiled.plan.explain())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Discrete-event cluster simulation: stages, containers, queues, bonus."""
+
+from repro.cluster.simulator import (
+    DEFAULT_CONTAINER_STARTUP,
+    DEFAULT_WORK_RATE,
+    ClusterSimulator,
+    JobTelemetry,
+    SimulatedJob,
+)
+from repro.cluster.stages import (
+    DEFAULT_MAX_PARTITIONS,
+    DEFAULT_ROWS_PER_PARTITION,
+    Stage,
+    StageGraph,
+    build_stage_graph,
+)
+
+__all__ = [
+    "DEFAULT_CONTAINER_STARTUP", "DEFAULT_WORK_RATE", "ClusterSimulator",
+    "JobTelemetry", "SimulatedJob", "DEFAULT_MAX_PARTITIONS",
+    "DEFAULT_ROWS_PER_PARTITION", "Stage", "StageGraph", "build_stage_graph",
+]

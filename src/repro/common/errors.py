@@ -1,0 +1,65 @@
+"""Exception hierarchy for the CloudViews reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+distinguish library failures from programming errors.  Parsing, binding,
+planning, execution, storage, and service failures each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Carries the position of the offending token so error messages can point
+    at the exact spot in the query text.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
+class BindError(ReproError):
+    """Raised when names in a query cannot be resolved against the catalog."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical plan is malformed or cannot be lowered."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical operator fails at run time."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown datasets, duplicate registrations, and the like."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated store (missing streams, sealed-view misuse)."""
+
+
+class InsightsError(ReproError):
+    """Raised by the insights service (lock conflicts, unknown tags)."""
+
+
+class SelectionError(ReproError):
+    """Raised when view selection is given inconsistent constraints."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the cluster simulator for impossible schedules."""
+
+
+class SignatureError(ReproError):
+    """Raised when a signature cannot be computed (e.g. unbound parameters)."""

@@ -1,0 +1,66 @@
+"""Deterministic hashing helpers used for subexpression signatures.
+
+CloudViews identifies common computations with a *signature*: a hash that
+"uniquely captures a subexpression instance including its inputs used"
+(paper, Section 2.3).  Everything here is deterministic across processes and
+runs -- we never rely on Python's salted ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def stable_hash(*parts: object) -> str:
+    """Return a 16-byte hex digest over the string forms of ``parts``.
+
+    Parts are joined with an unambiguous separator so that
+    ``stable_hash("ab", "c")`` differs from ``stable_hash("a", "bc")``.
+    Nested lists/tuples are flattened with explicit brackets, again to keep
+    the encoding prefix-free.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, parts)
+    return hasher.hexdigest()[:32]
+
+
+def _feed(hasher: "hashlib._Hash", value: object) -> None:
+    if isinstance(value, (list, tuple)):
+        hasher.update(b"[")
+        for item in value:
+            _feed(hasher, item)
+            hasher.update(b"\x1f")
+        hasher.update(b"]")
+    elif isinstance(value, bytes):
+        hasher.update(b"b:")
+        hasher.update(value)
+    elif isinstance(value, bool):
+        hasher.update(b"B:1" if value else b"B:0")
+    elif isinstance(value, int):
+        hasher.update(b"i:" + str(value).encode())
+    elif isinstance(value, float):
+        hasher.update(b"f:" + repr(value).encode())
+    elif value is None:
+        hasher.update(b"N")
+    else:
+        hasher.update(b"s:" + str(value).encode("utf-8"))
+
+
+def combine_unordered(digests: Iterable[str]) -> str:
+    """Hash a multiset of digests, ignoring order.
+
+    Used for commutative operators (inner joins, unions) so that logically
+    identical plans with swapped children produce the same signature.
+    """
+    return stable_hash(sorted(digests))
+
+
+def short_tag(digest: str, length: int = 8) -> str:
+    """Return the short *tag* form of a signature.
+
+    Tags "help fetch relevant signatures for a given SCOPE job and could
+    also be used for access control" (Section 2.3).  They are a truncated,
+    re-hashed form so that a tag does not reveal the full signature.
+    """
+    return hashlib.sha256(("tag:" + digest).encode()).hexdigest()[:length]

@@ -1,0 +1,16 @@
+"""CloudViews core: the manager, controls, and the workload simulation."""
+
+from repro.core.cloudviews import CloudViews
+from repro.core.controls import DeploymentMode, MultiLevelControls
+from repro.core.runner import (
+    SimulationConfig,
+    SimulationReport,
+    WorkloadSimulation,
+    record_job_into,
+)
+
+__all__ = [
+    "CloudViews", "DeploymentMode", "MultiLevelControls",
+    "SimulationConfig", "SimulationReport", "WorkloadSimulation",
+    "record_job_into",
+]

@@ -1,0 +1,148 @@
+"""The CloudViews manager: the public entry point of the library.
+
+Wraps a :class:`~repro.engine.engine.ScopeEngine` with the complete
+feedback loop of Figure 5:
+
+* every executed job is recorded into the workload repository;
+* :meth:`analyze_and_publish` runs view selection over the recorded window
+  and publishes the tagged signatures to the insights service;
+* subsequent jobs transparently materialize and reuse the selected
+  subexpressions -- "all completely automatic and transparent to the
+  users" (Abstract);
+* the multi-level controls decide, per job, whether CloudViews applies.
+
+For full cluster-level experiments (latency, containers, queues) use
+:class:`~repro.core.runner.WorkloadSimulation`; this class is the
+light-weight interactive surface used by the examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.controls import MultiLevelControls
+from repro.core.runner import record_job_into
+from repro.engine.engine import JobRun, ScopeEngine
+from repro.selection.bigsubs import bigsubs_select
+from repro.selection.candidates import build_candidates
+from repro.selection.greedy import greedy_select, per_vc_select
+from repro.selection.policies import SelectionPolicy, SelectionResult
+from repro.workload.repository import WorkloadRepository
+
+_SELECTORS = {
+    "greedy": lambda repo, cands, policy: greedy_select(cands, policy),
+    "per_vc": lambda repo, cands, policy: per_vc_select(cands, policy),
+    "bigsubs": bigsubs_select,
+}
+
+
+class CloudViews:
+    """Automatic computation reuse over a SCOPE-like engine."""
+
+    def __init__(self,
+                 engine: Optional[ScopeEngine] = None,
+                 controls: Optional[MultiLevelControls] = None,
+                 policy: Optional[SelectionPolicy] = None,
+                 selection_algorithm: str = "greedy"):
+        if selection_algorithm not in _SELECTORS:
+            raise ValueError(
+                f"unknown selection algorithm {selection_algorithm!r}")
+        self.engine = engine or ScopeEngine()
+        self.controls = controls or MultiLevelControls()
+        self.policy = policy or SelectionPolicy()
+        self.selection_algorithm = selection_algorithm
+        self.repository = WorkloadRepository()
+        self.last_selection: Optional[SelectionResult] = None
+        self._full_work: Dict[str, float] = {}
+        self._template_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # running jobs
+
+    def run(self, sql: str,
+            params: Optional[Dict[str, object]] = None,
+            virtual_cluster: str = "default",
+            template_id: str = "",
+            pipeline_id: str = "",
+            job_reuse_override: Optional[bool] = None,
+            now: float = 0.0) -> JobRun:
+        """Compile and execute one job, honoring the control hierarchy."""
+        reuse = self.controls.enabled_for(
+            virtual_cluster,
+            job_override=job_reuse_override,
+            service_enabled=self.engine.insights.enabled)
+        run = self.engine.run_sql(
+            sql, params=params, virtual_cluster=virtual_cluster,
+            reuse_enabled=reuse, now=now)
+        record_job_into(
+            self.repository, run, now,
+            virtual_cluster=virtual_cluster,
+            template_id=template_id or f"adhoc-{next(self._template_counter)}",
+            pipeline_id=pipeline_id,
+            salt=self.engine.signature_salt,
+            full_work=self._full_work,
+        )
+        return run
+
+    # ------------------------------------------------------------------ #
+    # the feedback loop
+
+    def analyze_and_publish(self,
+                            window_start: Optional[float] = None,
+                            window_end: Optional[float] = None
+                            ) -> SelectionResult:
+        """Workload analysis -> view selection -> insights publication.
+
+        Analysis only considers jobs compiled under the *current* runtime
+        version: signatures from older runtimes no longer match anything
+        (Section 4, "Impact of changed signatures").
+        """
+        repository = self.repository.for_runtime(
+            self.engine.runtime_version)
+        if window_start is not None or window_end is not None:
+            repository = repository.window(
+                window_start if window_start is not None else float("-inf"),
+                window_end if window_end is not None else float("inf"))
+        candidates = build_candidates(repository)
+        selector = _SELECTORS[self.selection_algorithm]
+        result = selector(repository, candidates, self.policy)
+        self.engine.insights.publish(result.annotations())
+        self.last_selection = result
+        return result
+
+    def handle_runtime_upgrade(self, version: str) -> None:
+        """Roll the engine to a new runtime version.
+
+        All published annotations are withdrawn immediately (their salted
+        signatures can no longer match), and the next
+        :meth:`analyze_and_publish` re-runs the workload analysis over
+        jobs observed under the new runtime -- the Section-4 recipe:
+        "we need to keep track of changes that can affect signatures and
+        re-run any prior workload analysis."
+        """
+        self.engine.set_runtime_version(version)
+        self.engine.insights.publish([])
+        self.last_selection = None
+
+    # ------------------------------------------------------------------ #
+    # operational surface
+
+    def purge_view(self, strict_signature: str) -> None:
+        """User-initiated purge of a view's files (Section 2.4)."""
+        self.engine.view_store.purge(strict_signature)
+
+    def evict_expired(self, now: float) -> int:
+        return len(self.engine.view_store.evict_expired(now))
+
+    def storage_in_use(self, now: float) -> int:
+        return self.engine.view_store.storage_in_use(now)
+
+    @property
+    def views_created(self) -> int:
+        return self.engine.view_store.total_created
+
+    @property
+    def views_reused(self) -> int:
+        return self.engine.view_store.total_reused

@@ -1,0 +1,99 @@
+"""Multi-level CloudViews enablement controls.
+
+Section 4 ("Multi-level control"): "We ended up placing several levels of
+control to enable or disable CloudViews.  These include job-level control
+for individual developers ..., VC-level control ..., cluster-level ...,
+and insight service level control as the uber control."
+
+Deployment follows the paper's rollout story (Section 4, "Opt-in vs
+opt-out"): an *opt-in* phase where only bought-in customers are onboarded,
+then an *opt-out* phase "where virtual clusters are grouped into tiers
+(based on business importance) and they are automatically onboarded tier by
+tier, starting with the lowest tier."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+class DeploymentMode(enum.Enum):
+    OPT_IN = "opt-in"
+    OPT_OUT = "opt-out"
+
+
+@dataclass
+class MultiLevelControls:
+    """The four-level enable/disable hierarchy.
+
+    The service-level kill switch lives on the
+    :class:`~repro.insights.service.InsightsService` itself; this object is
+    consulted together with it (see :meth:`enabled_for`).
+    """
+
+    cluster_enabled: bool = True
+    mode: DeploymentMode = DeploymentMode.OPT_IN
+    vc_overrides: Dict[str, bool] = field(default_factory=dict)
+    vc_tiers: Dict[str, int] = field(default_factory=dict)
+    onboarded_tiers: Set[int] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    # administration
+
+    def enable_vc(self, virtual_cluster: str) -> None:
+        """Customer opts a VC in (or back in after an opt-out)."""
+        self.vc_overrides[virtual_cluster] = True
+
+    def disable_vc(self, virtual_cluster: str) -> None:
+        """Customer opts a VC out."""
+        self.vc_overrides[virtual_cluster] = False
+
+    def clear_vc(self, virtual_cluster: str) -> None:
+        """Remove any explicit override; the deployment mode decides."""
+        self.vc_overrides.pop(virtual_cluster, None)
+
+    def assign_tier(self, virtual_cluster: str, tier: int) -> None:
+        self.vc_tiers[virtual_cluster] = tier
+
+    def onboard_tier(self, tier: int) -> None:
+        """Opt-out rollout step: auto-onboard every VC of this tier."""
+        self.onboarded_tiers.add(tier)
+
+    def onboard_up_to_tier(self, tier: int) -> None:
+        """Onboard tiers lowest-first, as in the paper's rollout."""
+        known = set(self.vc_tiers.values())
+        for candidate in sorted(known):
+            if candidate <= tier:
+                self.onboarded_tiers.add(candidate)
+
+    # ------------------------------------------------------------------ #
+    # decision
+
+    def vc_enabled(self, virtual_cluster: str) -> bool:
+        override = self.vc_overrides.get(virtual_cluster)
+        if override is not None:
+            return override
+        if self.mode is DeploymentMode.OPT_IN:
+            return False
+        tier = self.vc_tiers.get(virtual_cluster)
+        if tier is None:
+            return True  # untiered VCs ride along in opt-out mode
+        return tier in self.onboarded_tiers
+
+    def enabled_for(self, virtual_cluster: str,
+                    job_override: Optional[bool] = None,
+                    service_enabled: bool = True) -> bool:
+        """Resolve the full hierarchy for one job.
+
+        A job-level override can only *disable* (a developer cannot force
+        CloudViews on in a VC that has not been onboarded).
+        """
+        if not service_enabled:
+            return False
+        if not self.cluster_enabled:
+            return False
+        if not self.vc_enabled(virtual_cluster):
+            return False
+        return job_override is not False

@@ -1,0 +1,279 @@
+"""The SCOPE-like query engine facade.
+
+Ties the frontend, optimizer, executor, storage, and insights service into
+the query-processing flow of Figure 5:
+
+1. ``compile``: parse and bind the job, extract its signature tags, fetch
+   annotations from the insights service into the optimizer context, run
+   core search (view matching) and the follow-up optimization phase (view
+   buildout, taking view locks).
+2. ``execute``: run the physical plan; spools materialize views online; the
+   job manager early-seals each view the moment its rows are written and
+   notifies the insights service; observed per-subexpression statistics are
+   recorded into the workload history.
+
+The engine also owns the *runtime version*: bumping it changes the
+signature salt, which invalidates every existing view -- the operational
+hazard described in Section 4 ("Impact of changed signatures").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import TableSchema
+from repro.common.errors import ReproError
+from repro.executor.executor import ExecutionResult, Executor
+from repro.executor.udo import UdoRegistry, default_registry
+from repro.insights.service import InsightsService
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.cost import CostModel
+from repro.optimizer.pipeline import OptimizedPlan, optimize
+from repro.optimizer.rules import apply_rewrites
+from repro.optimizer.stats import StatisticsCatalog
+from repro.plan.builder import PlanBuilder
+from repro.plan.expressions import Row
+from repro.plan.logical import LogicalPlan, Spool
+from repro.plan.normalize import normalize
+from repro.signatures.signature import (
+    enumerate_subexpressions,
+    recurring_signature,
+    strict_signature,
+)
+from repro.sql.parser import parse
+from repro.storage.store import DataStore
+from repro.storage.views import DEFAULT_VIEW_TTL, ViewStore
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of the engine and its CloudViews integration."""
+
+    runtime_version: str = "scope-r1"
+    max_views_per_job: int = 3
+    overestimate: float = 2.0
+    view_ttl_seconds: float = DEFAULT_VIEW_TTL
+    cost_model: CostModel = field(default_factory=CostModel)
+
+
+@dataclass
+class CompiledJob:
+    """Output of compilation: the optimized plan plus reuse bookkeeping."""
+
+    job_id: str
+    sql: str
+    virtual_cluster: str
+    optimized: OptimizedPlan
+    tags: Tuple[str, ...]
+    params: Dict[str, object] = field(default_factory=dict)
+    reuse_enabled: bool = True
+    compile_latency: float = 0.0
+    runtime_version: str = ""
+
+    @property
+    def plan(self) -> LogicalPlan:
+        return self.optimized.plan
+
+    @property
+    def reused_views(self) -> int:
+        return self.optimized.reused_views
+
+    @property
+    def built_views(self) -> int:
+        return self.optimized.built_views
+
+
+@dataclass
+class JobRun:
+    """Result of executing a compiled job."""
+
+    compiled: CompiledJob
+    result: ExecutionResult
+    sealed_views: List[str] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[Row]:
+        return self.result.rows
+
+
+class ScopeEngine:
+    """A miniature SCOPE: compile and execute SQL jobs with CloudViews."""
+
+    def __init__(self,
+                 catalog: Optional[Catalog] = None,
+                 store: Optional[DataStore] = None,
+                 insights: Optional[InsightsService] = None,
+                 config: Optional[EngineConfig] = None,
+                 udos: Optional[UdoRegistry] = None):
+        self.catalog = catalog or Catalog()
+        self.store = store or DataStore()
+        self.insights = insights or InsightsService()
+        self.config = config or EngineConfig()
+        self.view_store = ViewStore(self.config.view_ttl_seconds)
+        self.history = StatisticsCatalog()
+        self.executor = Executor(self.store, udos or default_registry())
+        self._job_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # data management
+
+    def register_table(self, schema: TableSchema, rows: Sequence[Row],
+                       at: float = 0.0) -> None:
+        """Register a dataset and load its initial stream."""
+        version = self.catalog.register(schema, len(rows), created_at=at)
+        self.store.put(version.guid, list(rows))
+
+    def bulk_update(self, dataset: str, rows: Sequence[Row],
+                    at: float = 0.0, keep_versions: int = 3) -> None:
+        """Periodic regeneration of a cooked dataset: new GUID, new rows.
+
+        Older stream blobs are garbage-collected beyond ``keep_versions``
+        (running jobs in the simulator compiled against recent versions;
+        ancient ones are unreachable).
+        """
+        version = self.catalog.bulk_update(dataset, len(rows), at=at)
+        self.store.put(version.guid, list(rows))
+        versions = self.catalog.entry(dataset).versions
+        for stale in versions[:-keep_versions]:
+            self.store.delete(stale.guid)
+
+    def gdpr_forget(self, dataset: str, keep_predicate, at: float = 0.0) -> None:
+        """Right-to-erasure: drop rows failing ``keep_predicate``."""
+        current = self.catalog.current_guid(dataset)
+        kept = [row for row in self.store.get(current) if keep_predicate(row)]
+        removed = self.catalog.current_version(dataset).row_count - len(kept)
+        version = self.catalog.gdpr_forget(dataset, rows_removed=removed, at=at)
+        self.store.put(version.guid, kept)
+
+    @property
+    def runtime_version(self) -> str:
+        return self.config.runtime_version
+
+    def set_runtime_version(self, version: str) -> None:
+        """Upgrade the runtime.  Signatures change; old views go dark."""
+        self.config.runtime_version = version
+
+    @property
+    def signature_salt(self) -> str:
+        return self.config.runtime_version
+
+    # ------------------------------------------------------------------ #
+    # compilation
+
+    def compile(self, sql: str,
+                params: Optional[Dict[str, object]] = None,
+                virtual_cluster: str = "default",
+                reuse_enabled: bool = True,
+                now: float = 0.0,
+                job_id: Optional[str] = None) -> CompiledJob:
+        """Parse, bind, and optimize one job (Figure 5, query processing)."""
+        job_id = job_id or f"job-{next(self._job_counter)}"
+        builder = PlanBuilder(self.catalog, params)
+        plan = normalize(apply_rewrites(builder.build(parse(sql))))
+
+        tags = tuple(sorted({
+            sub.tag for sub in
+            enumerate_subexpressions(plan, self.signature_salt)
+            if sub.eligible}))
+
+        annotations = {}
+        compile_latency = 0.0
+        if reuse_enabled:
+            annotations = self.insights.fetch_annotations(tags)
+            compile_latency = self.insights.last_fetch_latency
+
+        ctx = OptimizerContext(
+            catalog=self.catalog,
+            view_store=self.view_store,
+            history=self.history,
+            cost_model=self.config.cost_model,
+            annotations=annotations,
+            salt=self.signature_salt,
+            virtual_cluster=virtual_cluster,
+            max_views_per_job=self.config.max_views_per_job,
+            reuse_enabled=reuse_enabled and self.insights.enabled,
+            overestimate=self.config.overestimate,
+            acquire_view_lock=lambda sig: self.insights.acquire_view_lock(
+                sig, holder=job_id),
+        )
+        optimized = optimize(plan, ctx, now=now)
+        return CompiledJob(
+            job_id=job_id,
+            sql=sql,
+            virtual_cluster=virtual_cluster,
+            optimized=optimized,
+            tags=tags,
+            params=dict(params or {}),
+            reuse_enabled=reuse_enabled,
+            compile_latency=compile_latency,
+            runtime_version=self.runtime_version,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def execute(self, compiled: CompiledJob, now: float = 0.0,
+                record_history: bool = True,
+                seal_views: bool = True) -> JobRun:
+        """Run the job; seal views early; record observed statistics.
+
+        The cluster simulator passes ``seal_views=False`` and calls
+        :meth:`seal_spooled` when the spool-writer stage actually completes
+        in simulated time, so early sealing happens at the right moment.
+        """
+        try:
+            result = self.executor.execute(compiled.plan)
+        except ReproError:
+            self._abandon_builds(compiled)
+            raise
+        run = JobRun(compiled=compiled, result=result)
+        if seal_views:
+            for spool in result.spooled:
+                self.seal_spooled(run, spool.signature, at=now)
+        if record_history:
+            self._record_history(result)
+        return run
+
+    def seal_spooled(self, run: JobRun, signature: str, at: float) -> None:
+        """Early-seal one view produced by ``run`` at simulated time ``at``."""
+        spool = next(s for s in run.result.spooled if s.signature == signature)
+        self.view_store.seal(spool.signature, at,
+                             spool.row_count, spool.size_bytes)
+        self.insights.report_view_available(
+            spool.signature, holder=run.compiled.job_id)
+        run.sealed_views.append(spool.signature)
+
+    def run_sql(self, sql: str,
+                params: Optional[Dict[str, object]] = None,
+                virtual_cluster: str = "default",
+                reuse_enabled: bool = True,
+                now: float = 0.0) -> JobRun:
+        """Convenience: compile then execute."""
+        compiled = self.compile(sql, params, virtual_cluster,
+                                reuse_enabled, now)
+        return self.execute(compiled, now=now)
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _abandon_builds(self, compiled: CompiledJob) -> None:
+        """Failed producer: drop unsealed views and release their locks."""
+        for proposal in compiled.optimized.proposals:
+            self.view_store.abandon(proposal.strict_signature)
+            self.insights.release_view_lock(
+                proposal.strict_signature, holder=compiled.job_id)
+
+    def _record_history(self, result: ExecutionResult) -> None:
+        salt = self.signature_salt
+        for node, stats in result.node_stats:
+            if isinstance(node, Spool):
+                continue  # transparent; the child already recorded
+            self.history.record(
+                strict_signature(node, salt),
+                recurring_signature(node, salt),
+                stats.rows_out,
+                stats.bytes_out,
+            )

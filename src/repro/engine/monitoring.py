@@ -1,0 +1,130 @@
+"""Query-monitoring surface for reuse decisions.
+
+Figure 5: "the modified query plans are surfaced to the users in the
+query monitoring tool and also logged into the telemetry for future
+analyses."  Section 2.4 also notes the flip side: users have "no DDL
+visibility" into CloudViews, so the monitoring view is their only window
+into what reuse did to their jobs.
+
+:class:`QueryMonitor` collects one :class:`MonitoredJob` per compiled job
+and renders the operator-facing report: which jobs built or reused views,
+the estimated cost delta, and the rewritten plan with CloudView markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.engine import CompiledJob, JobRun
+from repro.plan.logical import LogicalPlan, Spool, ViewScan
+
+
+@dataclass
+class MonitoredJob:
+    """One job's reuse story, as shown in the monitoring tool."""
+
+    job_id: str
+    virtual_cluster: str
+    sql: str
+    submitted_at: float
+    views_built: int
+    views_reused: int
+    estimated_cost: float
+    estimated_cost_without_reuse: float
+    plan_text: str
+    sealed_views: List[str] = field(default_factory=list)
+
+    @property
+    def cost_delta_percent(self) -> float:
+        """Negative means reuse made the plan cheaper."""
+        baseline = self.estimated_cost_without_reuse
+        if baseline == 0:
+            return 0.0
+        return (self.estimated_cost - baseline) / baseline * 100.0
+
+    @property
+    def touched_by_cloudviews(self) -> bool:
+        return self.views_built > 0 or self.views_reused > 0
+
+
+class QueryMonitor:
+    """Collects and renders per-job reuse telemetry."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, MonitoredJob] = {}
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+
+    def observe_compile(self, compiled: CompiledJob,
+                        at: float = 0.0) -> MonitoredJob:
+        entry = MonitoredJob(
+            job_id=compiled.job_id,
+            virtual_cluster=compiled.virtual_cluster,
+            sql=compiled.sql,
+            submitted_at=at,
+            views_built=compiled.built_views,
+            views_reused=compiled.reused_views,
+            estimated_cost=compiled.optimized.estimated_cost,
+            estimated_cost_without_reuse=(
+                compiled.optimized.estimated_cost_without_reuse),
+            plan_text=render_plan(compiled.plan),
+        )
+        self._jobs[compiled.job_id] = entry
+        return entry
+
+    def observe_run(self, run: JobRun) -> None:
+        entry = self._jobs.get(run.compiled.job_id)
+        if entry is not None:
+            entry.sealed_views = list(run.sealed_views)
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def job(self, job_id: str) -> Optional[MonitoredJob]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[MonitoredJob]:
+        return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+
+    def touched_jobs(self) -> List[MonitoredJob]:
+        return [j for j in self.jobs() if j.touched_by_cloudviews]
+
+    def render_summary(self) -> str:
+        """The monitoring tool's landing view."""
+        lines = [
+            "Query Monitor — CloudViews activity",
+            f"{'job':<12} {'vc':<14} {'built':>5} {'reused':>6} "
+            f"{'cost Δ':>8}",
+        ]
+        for job in self.jobs():
+            marker = "*" if job.touched_by_cloudviews else " "
+            lines.append(
+                f"{job.job_id:<12} {job.virtual_cluster:<14} "
+                f"{job.views_built:>5} {job.views_reused:>6} "
+                f"{job.cost_delta_percent:>7.1f}%{marker}")
+        return "\n".join(lines)
+
+    def render_job(self, job_id: str) -> str:
+        """The per-job drill-down: the plan with CloudView markers."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return f"no monitored job {job_id!r}"
+        header = (f"{job.job_id} on {job.virtual_cluster} — "
+                  f"built {job.views_built}, reused {job.views_reused}, "
+                  f"cost delta {job.cost_delta_percent:+.1f}%")
+        return header + "\n" + job.plan_text
+
+
+def render_plan(plan: LogicalPlan, indent: int = 0) -> str:
+    """Explain with CloudView annotations on reuse/build sites."""
+    label = plan.describe()
+    if isinstance(plan, ViewScan):
+        label += "   <-- reused CloudView"
+    elif isinstance(plan, Spool):
+        label += "   <-- materializes CloudView"
+    lines = ["  " * indent + label]
+    for child in plan.children():
+        lines.append(render_plan(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""User-defined operator (UDO) registry for the executor.
+
+SCOPE jobs "often include custom user code" (Section 1).  A UDO here is a
+Python callable from a list of rows to a list of rows.  Unknown UDOs default
+to pass-through, which keeps workload generation simple while still flowing
+the UDO's *identity* through signatures (the part CloudViews cares about).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.plan.expressions import Row
+
+UdoFunc = Callable[[List[Row]], List[Row]]
+
+
+class UdoRegistry:
+    """Named row-transform functions available to Process operators."""
+
+    def __init__(self) -> None:
+        self._udos: Dict[str, UdoFunc] = {}
+
+    def register(self, name: str, func: UdoFunc) -> None:
+        self._udos[name] = func
+
+    def get(self, name: str) -> UdoFunc:
+        return self._udos.get(name, _passthrough)
+
+    def has(self, name: str) -> bool:
+        return name in self._udos
+
+
+def _passthrough(rows: List[Row]) -> List[Row]:
+    return rows
+
+
+def default_registry() -> UdoRegistry:
+    """Registry with a few representative UDOs used by tests/examples."""
+    registry = UdoRegistry()
+
+    def scrub(rows: List[Row]) -> List[Row]:
+        """Deterministic cleanup: trims string values."""
+        return [{k: (v.strip() if isinstance(v, str) else v)
+                 for k, v in row.items()} for row in rows]
+
+    def dedup(rows: List[Row]) -> List[Row]:
+        seen = set()
+        out: List[Row] = []
+        for row in rows:
+            key = tuple(sorted(row.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return out
+
+    registry.register("Scrub", scrub)
+    registry.register("Dedup", dedup)
+    return registry

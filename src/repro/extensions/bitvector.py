@@ -1,0 +1,187 @@
+"""Bit-vector (Bloom) filter reuse (Section 5.6).
+
+"Bit-vector filters such as bitmap filters, Bloom filters and similar
+variants ... help filter rows which do not qualify the join condition
+early-on in the query execution plan. ... CloudViews style computation
+reuse can be applied for generating bit-vectors during query execution as
+well: during query execution, a spool operator could be used for
+generating the bit-vector filter from the right child of a hash join and
+reuse it in subsequent queries."
+
+The :class:`BloomFilter` is deterministic (double hashing over SHA-256)
+so reuse across simulated jobs is reproducible; it guarantees no false
+negatives, which is what makes semi-join reduction safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.plan.expressions import Expr, Row
+
+
+class BloomFilter:
+    """Classic Bloom filter with double hashing."""
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        ln2 = math.log(2.0)
+        self.size = max(8, int(-expected_items
+                               * math.log(false_positive_rate) / (ln2 * ln2)))
+        self.hash_count = max(1, round((self.size / expected_items) * ln2))
+        self._bits = bytearray((self.size + 7) // 8)
+        self.items_added = 0
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, item: object) -> None:
+        for position in self._positions(item):
+            self._bits[position // 8] |= 1 << (position % 8)
+        self.items_added += 1
+
+    def __contains__(self, item: object) -> bool:
+        return all(self._bits[p // 8] & (1 << (p % 8))
+                   for p in self._positions(item))
+
+    def _positions(self, item: object) -> Iterable[int]:
+        digest = hashlib.sha256(repr(item).encode()).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.hash_count):
+            yield (h1 + i * h2) % self.size
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def fill_ratio(self) -> float:
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.size
+
+
+def build_join_filter(build_rows: Iterable[Row],
+                      key_exprs: Tuple[Expr, ...],
+                      false_positive_rate: float = 0.01) -> BloomFilter:
+    """Build the semi-join filter from a hash join's build side."""
+    rows = list(build_rows)
+    bloom = BloomFilter(max(1, len(rows)), false_positive_rate)
+    for row in rows:
+        bloom.add(tuple(expr.evaluate(row) for expr in key_exprs))
+    return bloom
+
+
+def semi_join_reduce(probe_rows: Iterable[Row],
+                     key_exprs: Tuple[Expr, ...],
+                     bloom: BloomFilter) -> List[Row]:
+    """Drop probe rows that cannot possibly join (no false negatives)."""
+    return [row for row in probe_rows
+            if tuple(expr.evaluate(row) for expr in key_exprs) in bloom]
+
+
+@dataclass
+class BitVectorCatalog:
+    """Per-signature store of reusable join filters.
+
+    Keyed by the *strict signature of the build-side subexpression*, so a
+    filter goes stale exactly when the underlying view would (input GUID
+    changes roll the signature).
+    """
+
+    filters: Dict[str, BloomFilter] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def publish(self, build_signature: str, bloom: BloomFilter) -> None:
+        self.filters[build_signature] = bloom
+
+    def lookup(self, build_signature: str) -> Optional[BloomFilter]:
+        bloom = self.filters.get(build_signature)
+        if bloom is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return bloom
+
+    def lookup_quiet(self, build_signature: str) -> Optional[BloomFilter]:
+        """Existence probe that does not perturb hit/miss accounting."""
+        return self.filters.get(build_signature)
+
+    def invalidate_all(self) -> None:
+        self.filters.clear()
+
+
+# --------------------------------------------------------------------- #
+# CloudViews-style generation and reuse of join filters
+
+
+def publish_filters_from_run(run, catalog: "BitVectorCatalog", store,
+                             salt: str = "",
+                             false_positive_rate: float = 0.01) -> int:
+    """Build and publish Bloom filters from a job's executed hash joins.
+
+    "During query execution, a spool operator could be used for generating
+    the bit-vector filter from the right child of a hash join and reuse it
+    in subsequent queries" (Section 5.6).  We key each filter by the
+    *strict signature of the build-side subexpression*, so the filter goes
+    stale exactly when its inputs change.  ``store`` is the engine's data
+    store the run executed against.  Returns the number published.
+    """
+    from repro.executor.executor import Executor
+    from repro.plan.logical import Join
+    from repro.signatures.signature import strict_signature
+
+    executor = Executor(store)
+    published = 0
+    for node, _ in run.result.node_stats:
+        if not isinstance(node, Join) or not node.right_keys:
+            continue
+        build_signature = strict_signature(node.right, salt)
+        if catalog.lookup_quiet(build_signature) is not None:
+            continue
+        build_rows = executor.execute(node.right).rows
+        if not build_rows:
+            continue
+        bloom = build_join_filter(build_rows, node.right_keys,
+                                  false_positive_rate)
+        catalog.publish(build_signature, bloom)
+        published += 1
+    return published
+
+
+def plan_semi_join_reductions(plan, catalog: "BitVectorCatalog",
+                              store, salt: str = "") -> List[dict]:
+    """Estimate savings from reusing published filters in ``plan``.
+
+    For every equi-join whose build side has a published filter, measure
+    how many probe-side rows the filter would eliminate before the join.
+    Returns one record per applicable join.
+    """
+    from repro.executor.executor import Executor
+    from repro.plan.logical import Join
+    from repro.signatures.signature import strict_signature
+
+    executor = Executor(store)
+    reductions = []
+    for node in plan.walk():
+        if not isinstance(node, Join) or not node.left_keys:
+            continue
+        build_signature = strict_signature(node.right, salt)
+        bloom = catalog.lookup(build_signature)
+        if bloom is None:
+            continue
+        probe_rows = executor.execute(node.left).rows
+        kept = semi_join_reduce(probe_rows, node.left_keys, bloom)
+        reductions.append({
+            "build_signature": build_signature,
+            "probe_rows": len(probe_rows),
+            "rows_after_filter": len(kept),
+            "rows_eliminated": len(probe_rows) - len(kept),
+            "filter_bytes": bloom.size_bytes,
+        })
+    return reductions

@@ -1,0 +1,96 @@
+"""Pipeline optimization: physical designs for downstream consumers.
+
+Section 5.6: "the output of each producer query in the pipeline is
+typically consumed by multiple downstream queries.  Unfortunately, the
+producers are not aware of the right data representations, or physical
+designs, required by their consumers. ... This can be done by producing
+the right physical design as part of query execution of producer job."
+
+This prototype analyzes a set of compiled consumer plans and recommends,
+per dataset, the physical design (partition/sort key) that would serve the
+most downstream work: the column most frequently used as that dataset's
+join key, weighted by how often each consumer recurs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.plan.expressions import ColumnRef
+from repro.plan.logical import Join, LogicalPlan, Scan
+
+
+@dataclass(frozen=True)
+class PhysicalDesignSuggestion:
+    """Recommended producer-side layout for one shared dataset."""
+
+    dataset: str
+    partition_key: str
+    consumers_served: int       # joins that would avoid a re-shuffle
+    total_consumers: int        # joins over the dataset in the workload
+
+    @property
+    def coverage(self) -> float:
+        if self.total_consumers == 0:
+            return 0.0
+        return self.consumers_served / self.total_consumers
+
+
+def _scan_datasets(plan: LogicalPlan) -> Dict[str, List[str]]:
+    """Dataset -> column names for every scan below ``plan``."""
+    return {node.dataset: list(node.columns)
+            for node in plan.walk() if isinstance(node, Scan)}
+
+
+def _key_columns(exprs, side_plan: LogicalPlan) -> List[Tuple[str, str]]:
+    """(dataset, column) pairs a join-side key expression resolves to."""
+    datasets = _scan_datasets(side_plan)
+    out: List[Tuple[str, str]] = []
+    for expr in exprs:
+        for ref in expr.walk():
+            if not isinstance(ref, ColumnRef):
+                continue
+            # A qualified key like ``Users.UserId`` names the original
+            # column after the binder's rename; strip the qualifier.
+            column = ref.name.split(".")[-1]
+            for dataset, columns in datasets.items():
+                if column in columns:
+                    out.append((dataset, column))
+    return out
+
+
+def suggest_physical_designs(plans: Iterable[LogicalPlan],
+                             weights: Optional[Iterable[float]] = None
+                             ) -> List[PhysicalDesignSuggestion]:
+    """Recommend partition/sort keys for shared datasets.
+
+    ``weights`` (optional, aligned with ``plans``) lets callers weight each
+    consumer by its recurrence frequency.
+    """
+    plans = list(plans)
+    weight_list = list(weights) if weights is not None else [1.0] * len(plans)
+    usage: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    totals: Dict[str, float] = defaultdict(float)
+    for plan, weight in zip(plans, weight_list):
+        for node in plan.walk():
+            if not isinstance(node, Join):
+                continue
+            for exprs, side in ((node.left_keys, node.left),
+                                (node.right_keys, node.right)):
+                for dataset, column in _key_columns(exprs, side):
+                    usage[dataset][column] += weight
+                    totals[dataset] += weight
+    suggestions = []
+    for dataset in sorted(usage):
+        best_column, served = max(usage[dataset].items(),
+                                  key=lambda item: (item[1], item[0]))
+        suggestions.append(PhysicalDesignSuggestion(
+            dataset=dataset,
+            partition_key=best_column,
+            consumers_served=int(served),
+            total_consumers=int(totals[dataset]),
+        ))
+    suggestions.sort(key=lambda s: (-s.consumers_served, s.dataset))
+    return suggestions

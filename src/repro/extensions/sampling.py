@@ -1,0 +1,107 @@
+"""Sampled views for approximate query execution (Section 5.6).
+
+"CloudViews style computation reuse can be applied for reducing the cost
+of approximate query execution even further.  This can be achieved by
+sampling the views created by CloudViews.  Sampled views will particularly
+help reduce query latency and cost in queries where substantial work
+happens after the sampler.  Likewise, we could create statistics on the
+common subexpressions."
+
+A sampled view is derived from an existing materialized view: a
+deterministic Bernoulli sample of its rows, stored under a sibling path.
+Aggregates over the sample are scaled back by known estimators (COUNT and
+SUM scale by 1/rate; AVG/MIN/MAX are used as-is).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.plan.expressions import Row
+from repro.storage.store import DataStore
+from repro.storage.views import ViewStore
+
+
+@dataclass(frozen=True)
+class SampledView:
+    """Metadata for one sampled derivative of a materialized view."""
+
+    base_signature: str
+    path: str
+    rate: float
+    rows: int
+    base_rows: int
+
+    @property
+    def scale(self) -> float:
+        """Multiplier for count/sum style aggregates over the sample."""
+        if self.rows == 0:
+            return 0.0
+        return self.base_rows / self.rows
+
+
+class SampledViewCatalog:
+    """Creates and serves sampled views on top of the view store."""
+
+    def __init__(self, store: DataStore, views: ViewStore):
+        self.store = store
+        self.views = views
+        self._samples: Dict[Tuple[str, float], SampledView] = {}
+
+    def create(self, signature: str, rate: float, now: float,
+               seed: int = 0) -> SampledView:
+        """Materialize a Bernoulli sample of an available view."""
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"sample rate {rate!r} not in (0, 1]")
+        view = self.views.lookup(signature, now)
+        if view is None:
+            raise StorageError(
+                f"view {signature[:8]} is not available for sampling")
+        rows = self.store.get(view.path)
+        sampled = [row for index, row in enumerate(rows)
+                   if _keep(signature, seed, index, rate)]
+        path = f"{view.path}/sample-{rate:g}-{seed}"
+        self.store.put(path, sampled)
+        record = SampledView(
+            base_signature=signature,
+            path=path,
+            rate=rate,
+            rows=len(sampled),
+            base_rows=len(rows),
+        )
+        self._samples[(signature, rate)] = record
+        return record
+
+    def lookup(self, signature: str, rate: float) -> Optional[SampledView]:
+        return self._samples.get((signature, rate))
+
+    def rows(self, sample: SampledView) -> List[Row]:
+        return self.store.get(sample.path)
+
+    # ------------------------------------------------------------------ #
+    # approximate aggregates
+
+    def approximate_count(self, sample: SampledView) -> float:
+        return sample.rows * sample.scale
+
+    def approximate_sum(self, sample: SampledView, column: str) -> float:
+        total = sum(row.get(column) or 0 for row in self.rows(sample))
+        return total * sample.scale
+
+    def approximate_avg(self, sample: SampledView, column: str) -> Optional[float]:
+        values = [row[column] for row in self.rows(sample)
+                  if row.get(column) is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+def _keep(signature: str, seed: int, index: int, rate: float) -> bool:
+    """Deterministic Bernoulli draw for row ``index``."""
+    digest = hashlib.sha256(
+        f"{signature}:{seed}:{index}".encode()).digest()
+    draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return draw < rate

@@ -1,0 +1,90 @@
+"""Statistics on common subexpressions (Section 5.6, Sampling).
+
+"Likewise, we could create statistics on the common subexpressions to
+provide insights to data scientists and analysts."  Materialized views
+are an ideal place to hang column statistics: they are already computed,
+already small, and already keyed by signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import StorageError
+from repro.engine.engine import ScopeEngine
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Per-column summary over a materialized view."""
+
+    column: str
+    rows: int
+    nulls: int
+    distinct: int
+    minimum: Optional[object] = None
+    maximum: Optional[object] = None
+    mean: Optional[float] = None
+
+    @property
+    def null_fraction(self) -> float:
+        return self.nulls / self.rows if self.rows else 0.0
+
+
+@dataclass(frozen=True)
+class ViewStatistics:
+    """Full statistics bundle for one view."""
+
+    signature: str
+    rows: int
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+
+def compute_view_statistics(engine: ScopeEngine, signature: str,
+                            now: float = 0.0) -> ViewStatistics:
+    """Compute column statistics over an available materialized view."""
+    view = engine.view_store.lookup(signature, now)
+    if view is None:
+        raise StorageError(
+            f"view {signature[:8]} is not available for statistics")
+    rows = engine.store.get(view.path)
+    columns: Dict[str, ColumnStatistics] = {}
+    for column in view.schema:
+        values = [row.get(column) for row in rows]
+        present = [v for v in values if v is not None]
+        numeric = [v for v in present
+                   if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        columns[column] = ColumnStatistics(
+            column=column,
+            rows=len(values),
+            nulls=len(values) - len(present),
+            distinct=len({repr(v) for v in present}),
+            minimum=min(present) if present and _orderable(present) else None,
+            maximum=max(present) if present and _orderable(present) else None,
+            mean=(sum(numeric) / len(numeric)) if numeric else None,
+        )
+    return ViewStatistics(signature=signature, rows=len(rows),
+                          columns=columns)
+
+
+def _orderable(values: List[object]) -> bool:
+    kinds = {type(v) for v in values}
+    if len(kinds) > 1:
+        # Mixed int/float is fine; anything else is not safely orderable.
+        return kinds <= {int, float}
+    return True
+
+
+def render_statistics(stats: ViewStatistics) -> str:
+    """Analyst-facing rendering of a view's statistics."""
+    lines = [f"view {stats.signature[:12]}…  ({stats.rows} rows)"]
+    lines.append(f"{'column':<20} {'nulls':>6} {'distinct':>9} "
+                 f"{'min':>12} {'max':>12} {'mean':>10}")
+    for column in stats.columns.values():
+        mean = f"{column.mean:.2f}" if column.mean is not None else "-"
+        lines.append(
+            f"{column.column:<20} {column.nulls:>6} {column.distinct:>9} "
+            f"{str(column.minimum):>12.12} {str(column.maximum):>12.12} "
+            f"{mean:>10}")
+    return "\n".join(lines)

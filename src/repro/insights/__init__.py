@@ -1,0 +1,19 @@
+"""Insights service: annotation serving, view locks, usage metrics."""
+
+from repro.insights.annotations_file import (
+    compile_with_annotations,
+    dump_annotations,
+    export_current_annotations,
+    load_annotations,
+)
+from repro.insights.service import (
+    CACHED_ROUND_TRIP_SECONDS,
+    ROUND_TRIP_SECONDS,
+    InsightsService,
+    UsageMetrics,
+)
+
+__all__ = ["CACHED_ROUND_TRIP_SECONDS", "ROUND_TRIP_SECONDS",
+           "InsightsService", "UsageMetrics", "compile_with_annotations",
+           "dump_annotations", "export_current_annotations",
+           "load_annotations"]

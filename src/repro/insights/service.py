@@ -1,0 +1,146 @@
+"""The insights service: annotation serving, view locks, usage metrics.
+
+From Figure 5: tagged signatures produced by workload analysis are "polled
+by insights service and stored using Azure SQL databases" behind a "cached
+serving layer".  At query time the compiler extracts a job's tags and
+fetches the matching annotations; during the follow-up optimization phase
+it acquires an exclusive *view lock* before inserting a spool, and the job
+manager releases the lock when the view is sealed early.
+
+The paper reports "an end to round trip latency of around 15 milliseconds"
+(Section 5.2); we simulate that latency so the cluster simulation can
+charge it, with a serving-layer cache that makes repeated fetches cheap.
+
+The service is also the uber kill switch: "insight service level control as
+the uber control for gate keeping and toggling during customer incidents"
+(Section 4, "Multi-level control").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import InsightsError
+from repro.optimizer.context import Annotation
+
+#: Simulated round-trip to the serving layer, in seconds (~15 ms).
+ROUND_TRIP_SECONDS = 0.015
+#: A cache hit in the serving layer is an order of magnitude cheaper.
+CACHED_ROUND_TRIP_SECONDS = 0.0015
+
+
+@dataclass
+class UsageMetrics:
+    """Operational counters surfaced to the service owners."""
+
+    fetches: int = 0
+    cache_hits: int = 0
+    annotations_served: int = 0
+    locks_acquired: int = 0
+    locks_denied: int = 0
+    locks_released: int = 0
+    views_reported_available: int = 0
+
+
+class InsightsService:
+    """Annotation index plus the exclusive view-creation lock table."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._by_tag: Dict[str, List[Annotation]] = {}
+        self._by_recurring: Dict[str, Annotation] = {}
+        self._locks: Dict[str, str] = {}  # strict signature -> holder job id
+        self._cache: Set[str] = set()
+        self.metrics = UsageMetrics()
+        self.last_fetch_latency = 0.0
+
+    # ------------------------------------------------------------------ #
+    # publication (from workload analysis)
+
+    def publish(self, annotations: Iterable[Annotation]) -> int:
+        """Install the output of a view-selection run.
+
+        Replaces the previous generation wholesale: selection runs
+        periodically over fresh workload windows, and stale selections must
+        stop driving materialization (just-in-time views, Section 2.4).
+        """
+        self._by_tag.clear()
+        self._by_recurring.clear()
+        self._cache.clear()
+        count = 0
+        for annotation in annotations:
+            self._by_tag.setdefault(annotation.tag, []).append(annotation)
+            self._by_recurring[annotation.recurring_signature] = annotation
+            count += 1
+        return count
+
+    def annotation_count(self) -> int:
+        return len(self._by_recurring)
+
+    # ------------------------------------------------------------------ #
+    # query-time serving
+
+    def fetch_annotations(self, tags: Iterable[str]) -> Dict[str, Annotation]:
+        """Annotations for a job, keyed by recurring signature.
+
+        Returns an empty mapping when the service-level kill switch is off,
+        which disables both matching and buildout downstream.
+        """
+        self.metrics.fetches += 1
+        if not self.enabled:
+            self.last_fetch_latency = 0.0
+            return {}
+        latency = 0.0
+        result: Dict[str, Annotation] = {}
+        for tag in tags:
+            if tag in self._cache:
+                latency += CACHED_ROUND_TRIP_SECONDS
+                self.metrics.cache_hits += 1
+            else:
+                latency += ROUND_TRIP_SECONDS
+                self._cache.add(tag)
+            for annotation in self._by_tag.get(tag, ()):
+                result[annotation.recurring_signature] = annotation
+        self.last_fetch_latency = latency
+        self.metrics.annotations_served += len(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # view locks
+
+    def acquire_view_lock(self, strict_signature: str, holder: str) -> bool:
+        """Exclusive per-signature lock guarding view creation."""
+        if not self.enabled:
+            return False
+        current = self._locks.get(strict_signature)
+        if current is not None and current != holder:
+            self.metrics.locks_denied += 1
+            return False
+        self._locks[strict_signature] = holder
+        self.metrics.locks_acquired += 1
+        return True
+
+    def release_view_lock(self, strict_signature: str, holder: str) -> None:
+        current = self._locks.get(strict_signature)
+        if current is None:
+            return
+        if current != holder:
+            raise InsightsError(
+                f"lock on {strict_signature[:8]} held by {current!r}, "
+                f"not {holder!r}")
+        del self._locks[strict_signature]
+        self.metrics.locks_released += 1
+
+    def lock_holder(self, strict_signature: str) -> Optional[str]:
+        return self._locks.get(strict_signature)
+
+    def report_view_available(self, strict_signature: str, holder: str) -> None:
+        """Early-seal notification: release the lock and start reusing.
+
+        "The job manager makes the view available even before the query
+        finishes ... and notifies the insight service to release the view
+        creation lock and start reusing it wherever possible." (Section 2.3)
+        """
+        self.release_view_lock(strict_signature, holder)
+        self.metrics.views_reported_available += 1

@@ -1,0 +1,27 @@
+"""Cost-based optimizer with CloudViews view matching and buildout."""
+
+from repro.optimizer.context import Annotation, OptimizerContext
+from repro.optimizer.cost import CostModel
+from repro.optimizer.pipeline import OptimizedPlan, optimize
+from repro.optimizer.rules import apply_rewrites, fold_constants, push_filters
+from repro.optimizer.stats import (
+    DEFAULT_OVERESTIMATE,
+    CardinalityEstimator,
+    ObservedStats,
+    StatisticsCatalog,
+)
+from repro.optimizer.view_buildout import (
+    BuildOutcome,
+    BuildProposal,
+    insert_spools,
+    view_path_for,
+)
+from repro.optimizer.view_matching import MatchOutcome, ViewMatch, match_views
+
+__all__ = [
+    "Annotation", "OptimizerContext", "CostModel", "OptimizedPlan",
+    "optimize", "apply_rewrites", "fold_constants", "push_filters",
+    "DEFAULT_OVERESTIMATE", "CardinalityEstimator", "ObservedStats",
+    "StatisticsCatalog", "BuildOutcome", "BuildProposal", "insert_spools",
+    "view_path_for", "MatchOutcome", "ViewMatch", "match_views",
+]

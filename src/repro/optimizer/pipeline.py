@@ -1,0 +1,62 @@
+"""The full optimization pipeline applied to every compiled job.
+
+Order mirrors the SCOPE + CloudViews flow:
+
+1. logical rewrites (constant folding, filter pushdown);
+2. normalization (the "some normalization" behind signature matching);
+3. core search with top-down **view matching**;
+4. follow-up **view buildout** (bottom-up spool insertion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rules import apply_rewrites
+from repro.optimizer.view_buildout import BuildProposal, insert_spools
+from repro.optimizer.view_matching import ViewMatch, match_views
+from repro.plan.logical import LogicalPlan
+from repro.plan.normalize import normalize
+
+
+@dataclass
+class OptimizedPlan:
+    """Final plan plus the reuse decisions taken along the way."""
+
+    plan: LogicalPlan
+    logical: LogicalPlan          # normalized plan before reuse rewrites
+    matches: List[ViewMatch] = field(default_factory=list)
+    proposals: List[BuildProposal] = field(default_factory=list)
+    estimated_cost: float = 0.0
+    estimated_cost_without_reuse: float = 0.0
+
+    @property
+    def reused_views(self) -> int:
+        return len(self.matches)
+
+    @property
+    def built_views(self) -> int:
+        return len(self.proposals)
+
+
+def optimize(plan: LogicalPlan, ctx: OptimizerContext,
+             now: float = 0.0) -> OptimizedPlan:
+    """Run rewrites, normalization, view matching, and view buildout."""
+    logical = normalize(apply_rewrites(plan))
+    estimator = ctx.estimator()
+    cost_without = ctx.cost_model.plan_cost(logical, estimator)
+
+    matched = match_views(logical, ctx, now)
+    built = insert_spools(matched.plan, ctx, now)
+
+    final_cost = ctx.cost_model.plan_cost(built.plan, ctx.estimator())
+    return OptimizedPlan(
+        plan=built.plan,
+        logical=logical,
+        matches=matched.matches,
+        proposals=built.proposals,
+        estimated_cost=final_cost,
+        estimated_cost_without_reuse=cost_without,
+    )

@@ -1,0 +1,169 @@
+"""Top-down view matching ("Core search" in Figure 5).
+
+"During core search, the optimizer tries to match top down (match larger
+subexpressions first) whether any of the query subexpressions is already
+materialized.  If yes, then it modifies the query plan to reuse the common
+subexpression with scan over previously materialized subexpression, updates
+more accurate statistics, and inserts the modified plan into the memo for
+overall costing.  The plan using a materialized subexpression is chosen
+only if its cost is lower than the plan without the materialized
+subexpression." (Section 2.3)
+
+Matching is the paper's "lightweight view matching": a recursive signature
+computation plus hash-equality lookups -- no containment reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.optimizer.context import OptimizerContext
+from repro.plan.logical import LogicalPlan, Scan, ViewScan
+from repro.signatures.signature import (
+    is_reuse_eligible,
+    recurring_signature,
+    strict_signature,
+)
+from repro.storage.views import MaterializedView
+
+
+@dataclass(frozen=True)
+class ViewMatch:
+    """Record of one reuse decision (for telemetry and user surfacing)."""
+
+    signature: str
+    view_path: str
+    view_rows: int
+    replaced_operators: int
+    cost_without: float
+    cost_with: float
+
+
+@dataclass
+class MatchOutcome:
+    plan: LogicalPlan
+    matches: List[ViewMatch] = field(default_factory=list)
+
+    @property
+    def reused(self) -> bool:
+        return bool(self.matches)
+
+
+def match_views(plan: LogicalPlan, ctx: OptimizerContext,
+                now: float) -> MatchOutcome:
+    """Replace materialized subexpressions with ViewScans, top down."""
+    outcome = MatchOutcome(plan=plan)
+    if not ctx.reuse_enabled:
+        return outcome
+    outcome.plan = _match(plan, ctx, now, outcome.matches)
+    return outcome
+
+
+def _match(plan: LogicalPlan, ctx: OptimizerContext, now: float,
+           matches: List[ViewMatch]) -> LogicalPlan:
+    replaced = _try_replace(plan, ctx, now, matches)
+    if replaced is not None:
+        return replaced
+    children = plan.children()
+    if not children:
+        return plan
+    new_children = [_match(child, ctx, now, matches) for child in children]
+    if any(n is not o for n, o in zip(new_children, children)):
+        return plan.with_children(new_children)
+    return plan
+
+
+def _try_replace(plan: LogicalPlan, ctx: OptimizerContext, now: float,
+                 matches: List[ViewMatch]) -> Optional[LogicalPlan]:
+    if isinstance(plan, (Scan, ViewScan)):
+        return None  # a bare scan never benefits from view substitution
+    if not is_reuse_eligible(plan):
+        return None
+    signature = strict_signature(plan, ctx.salt)
+    view = ctx.view_store.lookup(signature, now)
+    if view is None:
+        if ctx.enable_containment:
+            return _try_containment(plan, ctx, now, matches)
+        return None
+    cost_with, cost_without = _compare_costs(plan, view, ctx)
+    if cost_with >= cost_without:
+        return None
+    ctx.view_store.record_reuse(signature)
+    matches.append(ViewMatch(
+        signature=signature,
+        view_path=view.path,
+        view_rows=view.row_count,
+        replaced_operators=sum(1 for _ in plan.walk()),
+        cost_without=cost_without,
+        cost_with=cost_with,
+    ))
+    return ViewScan(
+        signature=signature,
+        view_path=view.path,
+        columns=plan.schema,
+        rows=view.row_count,
+        size_bytes=view.size_bytes,
+        recurring=view.recurring_signature
+        or recurring_signature(plan, ctx.salt),
+    )
+
+
+def _try_containment(plan: LogicalPlan, ctx: OptimizerContext, now: float,
+                     matches: List[ViewMatch]) -> Optional[LogicalPlan]:
+    """Section-5.3 prototype: answer a Filter(Scan) from a more general
+    view via a compensating filter, when no exact match exists."""
+    from repro.optimizer.containment import generalized_match
+
+    for view in ctx.view_store.views():
+        if not view.available(now) or view.definition is None:
+            continue
+        view_scan = ViewScan(
+            signature=view.signature,
+            view_path=view.path,
+            columns=view.schema,
+            rows=view.row_count,
+            size_bytes=view.size_bytes,
+            recurring=view.recurring_signature,
+        )
+        rewritten = generalized_match(plan, view.definition, view_scan)
+        if rewritten is None:
+            continue
+        cost_with, cost_without = _compare_rewrites(plan, rewritten, ctx)
+        if cost_with >= cost_without:
+            continue
+        ctx.view_store.record_reuse(view.signature)
+        matches.append(ViewMatch(
+            signature=view.signature,
+            view_path=view.path,
+            view_rows=view.row_count,
+            replaced_operators=sum(1 for _ in plan.walk()),
+            cost_without=cost_without,
+            cost_with=cost_with,
+        ))
+        return rewritten
+    return None
+
+
+def _compare_rewrites(plan: LogicalPlan, rewritten: LogicalPlan,
+                      ctx: OptimizerContext) -> Tuple[float, float]:
+    estimator = ctx.estimator()
+    return (ctx.cost_model.plan_cost(rewritten, estimator),
+            ctx.cost_model.plan_cost(plan, estimator))
+
+
+def _compare_costs(plan: LogicalPlan, view: MaterializedView,
+                   ctx: OptimizerContext) -> Tuple[float, float]:
+    """Cost the two memo alternatives: scan-the-view vs recompute."""
+    estimator = ctx.estimator()
+    cost_without = ctx.cost_model.plan_cost(plan, estimator)
+    replacement = ViewScan(
+        signature=view.signature,
+        view_path=view.path,
+        columns=plan.schema,
+        rows=view.row_count,
+        size_bytes=view.size_bytes,
+        recurring=view.recurring_signature,
+    )
+    cost_with = ctx.cost_model.plan_cost(replacement, estimator)
+    return cost_with, cost_without

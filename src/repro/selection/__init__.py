@@ -1,0 +1,19 @@
+"""View selection: candidates, greedy, per-VC, BigSubs, schedule-aware."""
+
+from repro.selection.bigsubs import bigsubs_select
+from repro.selection.candidates import (
+    READ_COST_PER_ROW,
+    WRITE_COST_PER_ROW,
+    ReuseCandidate,
+    build_candidates,
+)
+from repro.selection.greedy import greedy_select, per_vc_select
+from repro.selection.policies import SelectionPolicy, SelectionResult
+from repro.selection.schedule import apply_schedule_awareness, effective_frequency
+
+__all__ = [
+    "bigsubs_select", "READ_COST_PER_ROW", "WRITE_COST_PER_ROW",
+    "ReuseCandidate", "build_candidates", "greedy_select", "per_vc_select",
+    "SelectionPolicy", "SelectionResult", "apply_schedule_awareness",
+    "effective_frequency",
+]

@@ -1,0 +1,126 @@
+"""Reuse-candidate construction from the workload repository.
+
+A candidate is one distinct *recurring* signature with its aggregated
+runtime features.  The considerations mirror Section 2.3: "storage cost for
+materialization, processing time saved when reused, saving opportunities
+per customer, and the presence of concurrent queries that may not benefit
+from materialization-based reuse."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.workload.repository import SubexpressionRecord, WorkloadRepository
+
+#: Work-unit cost of reading back one materialized row at reuse time.
+READ_COST_PER_ROW = 1.0
+#: Work-unit cost of writing one row during online materialization.
+WRITE_COST_PER_ROW = 2.0
+
+
+@dataclass(frozen=True)
+class ReuseCandidate:
+    """One distinct recurring subexpression, scored for selection.
+
+    A recurring subexpression occurs across multiple *input epochs*: each
+    distinct strict signature (same logical template over one concrete set
+    of input GUIDs) is one epoch.  Reuse is only possible **within** an
+    epoch -- a view built over Monday's streams is useless on Tuesday after
+    the cooking pipelines bulk-update the inputs.  Selection therefore
+    scores on ``frequency - instances`` (the occurrences that can actually
+    read a previously materialized sibling), not raw frequency.
+    """
+
+    recurring: str
+    tag: str
+    operator: str
+    height: int
+    frequency: int                      # total occurrences in the window
+    instances: int                      # distinct strict signatures (epochs)
+    distinct_jobs: int
+    avg_rows: int
+    avg_bytes: int                      # storage cost when materialized
+    avg_work: float                     # compute below and incl. the node
+    virtual_clusters: FrozenSet[str]
+    #: Submission times grouped per epoch, for schedule-aware filtering.
+    instance_times: Tuple[Tuple[float, ...], ...] = ()
+    per_vc_frequency: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def reusable_occurrences(self) -> int:
+        """Occurrences that can consume a view built within their epoch."""
+        return max(0, self.frequency - self.instances)
+
+    @property
+    def benefit(self) -> float:
+        """Net processing saved across the window.
+
+        Each epoch's first occurrence pays the materialization write and
+        saves nothing; every later occurrence in the epoch saves the
+        subtree work minus the view read-back.
+        """
+        saved = self.reusable_occurrences * (
+            self.avg_work - self.avg_rows * READ_COST_PER_ROW)
+        return saved - self.instances * self.avg_rows * WRITE_COST_PER_ROW
+
+    @property
+    def density(self) -> float:
+        """Benefit per byte of storage (greedy packing key)."""
+        return self.benefit / max(1, self.avg_bytes)
+
+    def frequency_in(self, virtual_cluster: str) -> int:
+        for vc, count in self.per_vc_frequency:
+            if vc == virtual_cluster:
+                return count
+        return 0
+
+
+def build_candidates(repository: WorkloadRepository,
+                     min_height: int = 1,
+                     min_reusable: int = 1) -> List[ReuseCandidate]:
+    """Aggregate the subexpression table into scored candidates.
+
+    ``min_height`` excludes bare scans (nothing to save re-reading a raw
+    input); ``min_reusable`` excludes subexpressions that never co-occur
+    within one input epoch (e.g. a daily job's private subplan, which
+    repeats across days but can never reuse yesterday's view).
+    """
+    groups: Dict[str, List[SubexpressionRecord]] = defaultdict(list)
+    for record in repository.subexpressions:
+        if record.eligible and record.height >= min_height:
+            groups[record.recurring].append(record)
+
+    candidates: List[ReuseCandidate] = []
+    for recurring, records in groups.items():
+        epochs: Dict[str, List[float]] = defaultdict(list)
+        for record in records:
+            epochs[record.strict].append(record.submit_time)
+        count = len(records)
+        instances = len(epochs)
+        if count - instances < min_reusable:
+            continue
+        vcs: Dict[str, int] = defaultdict(int)
+        for record in records:
+            vcs[record.virtual_cluster] += 1
+        candidates.append(ReuseCandidate(
+            recurring=recurring,
+            tag=records[0].tag,
+            operator=records[0].operator,
+            height=records[0].height,
+            frequency=count,
+            instances=instances,
+            distinct_jobs=len({r.job_id for r in records}),
+            avg_rows=int(sum(r.rows for r in records) / count),
+            avg_bytes=int(sum(r.size_bytes for r in records) / count),
+            avg_work=sum(r.work for r in records) / count,
+            virtual_clusters=frozenset(vcs),
+            instance_times=tuple(
+                tuple(sorted(times)) for _, times in sorted(epochs.items())),
+            per_vc_frequency=tuple(sorted(vcs.items())),
+        ))
+    # Deterministic order: best density first, signature as tie-break.
+    candidates.sort(key=lambda c: (-c.density, c.recurring))
+    return candidates

@@ -1,0 +1,87 @@
+"""Schedule-aware candidate filtering.
+
+Section 4 ("Schedule-aware views"): workflow tools "trigger all jobs at the
+start of every period ... jobs that get scheduled (and thus compiled) at
+the same time cannot benefit from such reuse. ... we modified our view
+selection algorithms to account for concurrent job submissions;
+specifically, we only consider subexpressions that could finish
+materializing before the start of other consuming jobs."
+
+Given a candidate's historical submission times, we drop occurrences that
+arrive within the materialization lag of the period's first occurrence and
+re-score the candidate on the surviving (actually reusable) frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from repro.selection.candidates import ReuseCandidate
+
+
+def effective_frequency(submit_times: Tuple[float, ...],
+                        lag_seconds: float) -> int:
+    """Occurrences that can actually reuse, given the materialization lag.
+
+    The first occurrence of each burst materializes; occurrences closer
+    than ``lag_seconds`` to an in-flight materialization neither reuse nor
+    count.  Returns 1 (producer) + the number of benefiting consumers.
+    """
+    if not submit_times:
+        return 0
+    if lag_seconds <= 0:
+        return len(submit_times)
+    times = sorted(submit_times)
+    available_at = times[0] + lag_seconds
+    effective = 1
+    for t in times[1:]:
+        if t >= available_at:
+            effective += 1
+    return effective
+
+
+def prefilter_candidates(candidates: List[ReuseCandidate],
+                         policy) -> Tuple[List[ReuseCandidate], int]:
+    """Apply the policy's schedule-awareness and reuse-rate thresholds.
+
+    Returns (survivors, rejected_count).  Used by every selector so the
+    operational constraints of Section 4 apply uniformly.
+    """
+    survivors, rejected = apply_schedule_awareness(
+        candidates, policy.materialization_lag_seconds)
+    if policy.min_reuses_per_epoch > 0:
+        kept: List[ReuseCandidate] = []
+        for candidate in survivors:
+            rate = candidate.reusable_occurrences / max(1, candidate.instances)
+            if rate < policy.min_reuses_per_epoch:
+                rejected += 1
+            else:
+                kept.append(candidate)
+        survivors = kept
+    return survivors, rejected
+
+
+def apply_schedule_awareness(candidates: List[ReuseCandidate],
+                             lag_seconds: float) -> Tuple[List[ReuseCandidate], int]:
+    """Re-score candidates on reusable frequency; drop the unreusable.
+
+    The lag is applied *within each input epoch* (reuse is only possible
+    there anyway).  Returns the surviving (re-scored) candidates and the
+    rejected count.
+    """
+    if lag_seconds <= 0:
+        return list(candidates), 0
+    survivors: List[ReuseCandidate] = []
+    rejected = 0
+    for candidate in candidates:
+        effective = sum(
+            effective_frequency(times, lag_seconds)
+            for times in candidate.instance_times)
+        if effective - candidate.instances < 1:
+            rejected += 1
+            continue
+        if effective != candidate.frequency:
+            candidate = replace(candidate, frequency=effective)
+        survivors.append(candidate)
+    return survivors, rejected

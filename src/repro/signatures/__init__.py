@@ -1,0 +1,17 @@
+"""Subexpression signatures: strict, recurring, tags, eligibility."""
+
+from repro.signatures.signature import (
+    MAX_DEPENDENCY_DEPTH,
+    Subexpression,
+    enumerate_subexpressions,
+    is_reuse_eligible,
+    recurring_signature,
+    signature_tag,
+    strict_signature,
+)
+
+__all__ = [
+    "MAX_DEPENDENCY_DEPTH", "Subexpression", "enumerate_subexpressions",
+    "is_reuse_eligible", "recurring_signature", "signature_tag",
+    "strict_signature",
+]

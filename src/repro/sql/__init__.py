@@ -1,0 +1,19 @@
+"""SCOPE-like SQL frontend: lexer, parser, AST."""
+
+from repro.sql.ast import (
+    JoinClause,
+    OrderItem,
+    ProcessClause,
+    Query,
+    SelectItem,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+
+__all__ = [
+    "JoinClause", "OrderItem", "ProcessClause", "Query", "SelectItem",
+    "SelectStmt", "SubqueryRef", "TableRef", "Token", "tokenize", "parse",
+]

@@ -1,0 +1,133 @@
+"""Tokenizer for the SCOPE-like SQL subset.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords are
+case-insensitive; identifiers preserve case.  Parameters are written
+``@name`` and model the time-varying parameters of recurring SCOPE jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.common.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "JOIN", "LEFT", "INNER", "ON", "AS", "AND", "OR", "NOT", "UNION",
+    "ALL", "CASE", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC", "NULL",
+    "IS", "PROCESS", "USING", "NONDETERMINISTIC", "DEPTH", "TRUE", "FALSE",
+    "IN", "BETWEEN", "LIKE",
+}
+
+#: Multi-character operators first so maximal munch applies.
+OPERATORS = ["<>", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%",
+             "(", ")", ",", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: str       # KEYWORD | IDENT | NUMBER | STRING | OP | PARAM | EOF
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str = "") -> bool:
+        if self.kind != kind:
+            return False
+        return not value or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``, raising :class:`ParseError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            yield _string_token(text, i)
+            # Skip past the token we just produced (including doubled quotes).
+            j = i + 1
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier, not a decimal.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token("NUMBER", text[i:j], i)
+            i = j
+            continue
+        if ch == "@":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise ParseError("expected parameter name after '@'", i, text)
+            yield Token("PARAM", text[i + 1:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, i)
+            else:
+                yield Token("IDENT", word, i)
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                yield Token("OP", op, i)
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"unexpected character {ch!r}", i, text)
+    yield Token("EOF", "", n)
+
+
+def _string_token(text: str, start: int) -> Token:
+    """Lex a single-quoted string starting at ``start`` (quote doubling)."""
+    parts: List[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return Token("STRING", "".join(parts), start)
+        parts.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", start, text)

@@ -1,0 +1,379 @@
+"""Recursive-descent parser for the SCOPE-like SQL subset.
+
+Grammar (informally)::
+
+    query       := select (UNION [ALL] select)* [ORDER BY order_list] [LIMIT n]
+    select      := SELECT [DISTINCT] item (',' item)*
+                   FROM relation join*
+                   [WHERE expr] [GROUP BY columns] [HAVING expr]
+                   [PROCESS USING ident [NONDETERMINISTIC] [DEPTH n]]
+    relation    := ident [[AS] ident] | '(' query ')' [AS] ident
+    join        := [LEFT] [INNER] JOIN relation [ON expr]
+    expr        := standard precedence: OR < AND < NOT < cmp < add < mul < unary
+
+Joins without ON are natural joins, matching the paper's Figure 4 queries
+(``FROM Sales JOIN Customer WHERE ...``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ParseError
+from repro.plan.expressions import (
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.ast import (
+    JoinClause,
+    OrderItem,
+    ProcessClause,
+    Query,
+    Relation,
+    SelectItem,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+
+def parse(text: str) -> Query:
+    """Parse ``text`` into a :class:`Query`, raising :class:`ParseError`."""
+    return _Parser(text).parse_query(top_level=True)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value: str = "") -> bool:
+        return self.current.matches(kind, value)
+
+    def accept(self, kind: str, value: str = "") -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str = "") -> Token:
+        if not self.check(kind, value):
+            want = value or kind
+            got = self.current.value or self.current.kind
+            raise ParseError(f"expected {want}, got {got!r}",
+                             self.current.position, self.text)
+        return self.advance()
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def parse_query(self, top_level: bool = False) -> Query:
+        selects = [self.parse_select()]
+        union_all = True
+        while self.accept("KEYWORD", "UNION"):
+            union_all = bool(self.accept("KEYWORD", "ALL"))
+            selects.append(self.parse_select())
+        order_by: Tuple[OrderItem, ...] = ()
+        if self.accept("KEYWORD", "ORDER"):
+            self.expect("KEYWORD", "BY")
+            order_by = tuple(self._order_list())
+        limit: Optional[int] = None
+        if self.accept("KEYWORD", "LIMIT"):
+            token = self.expect("NUMBER")
+            limit = int(token.value)
+        if top_level:
+            self.expect("EOF")
+        return Query(tuple(selects), union_all, order_by, limit)
+
+    def parse_select(self) -> SelectStmt:
+        self.expect("KEYWORD", "SELECT")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        items = [self._select_item()]
+        while self.accept("OP", ","):
+            items.append(self._select_item())
+        self.expect("KEYWORD", "FROM")
+        relation = self._relation()
+        joins: List[JoinClause] = []
+        while self.check("KEYWORD", "JOIN") or self.check("KEYWORD", "LEFT") \
+                or self.check("KEYWORD", "INNER"):
+            joins.append(self._join_clause())
+        where = self.parse_expr() if self.accept("KEYWORD", "WHERE") else None
+        group_by: Tuple[ColumnRef, ...] = ()
+        if self.accept("KEYWORD", "GROUP"):
+            self.expect("KEYWORD", "BY")
+            group_by = tuple(self._column_list())
+        having = self.parse_expr() if self.accept("KEYWORD", "HAVING") else None
+        process = self._process_clause()
+        return SelectStmt(tuple(items), relation, tuple(joins), where,
+                          group_by, having, distinct, process)
+
+    def _select_item(self) -> SelectItem:
+        if self.check("OP", "*"):
+            self.advance()
+            return SelectItem(Star())
+        expr = self.parse_expr()
+        # ``t.*`` parses as ColumnRef(t) '.' '*'; handle the trailing star.
+        if isinstance(expr, ColumnRef) and expr.table is None \
+                and self.check("OP", ".") is False and self.check("OP", "*"):
+            self.advance()
+            return SelectItem(Star(expr.name))
+        alias: Optional[str] = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("IDENT").value
+        elif self.check("IDENT"):
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def _relation(self) -> Relation:
+        if self.accept("OP", "("):
+            query = self.parse_query()
+            self.expect("OP", ")")
+            self.accept("KEYWORD", "AS")
+            alias = self.expect("IDENT").value
+            return SubqueryRef(query, alias)
+        name = self.expect("IDENT").value
+        alias: Optional[str] = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("IDENT").value
+        elif self.check("IDENT"):
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _join_clause(self) -> JoinClause:
+        how = "inner"
+        if self.accept("KEYWORD", "LEFT"):
+            how = "left"
+        self.accept("KEYWORD", "INNER")
+        self.expect("KEYWORD", "JOIN")
+        relation = self._relation()
+        condition = None
+        if self.accept("KEYWORD", "ON"):
+            condition = self.parse_expr()
+        return JoinClause(relation, condition, how)
+
+    def _process_clause(self) -> Optional[ProcessClause]:
+        if not self.accept("KEYWORD", "PROCESS"):
+            return None
+        self.expect("KEYWORD", "USING")
+        name = self.expect("IDENT").value
+        deterministic = not self.accept("KEYWORD", "NONDETERMINISTIC")
+        depth = 0
+        if self.accept("KEYWORD", "DEPTH"):
+            depth = int(self.expect("NUMBER").value)
+        return ProcessClause(name, deterministic, depth)
+
+    def _column_list(self) -> List[ColumnRef]:
+        columns = [self._column_ref()]
+        while self.accept("OP", ","):
+            columns.append(self._column_ref())
+        return columns
+
+    def _column_ref(self) -> ColumnRef:
+        name = self.expect("IDENT").value
+        if self.accept("OP", "."):
+            column = self.expect("IDENT").value
+            return ColumnRef(column, table=name)
+        return ColumnRef(name)
+
+    def _order_list(self) -> List[OrderItem]:
+        items = [self._order_item()]
+        while self.accept("OP", ","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> OrderItem:
+        column = self._column_ref()
+        ascending = True
+        if self.accept("KEYWORD", "DESC"):
+            ascending = False
+        else:
+            self.accept("KEYWORD", "ASC")
+        return OrderItem(column, ascending)
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+
+    def parse_expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        expr = self._and_expr()
+        while self.accept("KEYWORD", "OR"):
+            expr = BinaryOp("OR", expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> Expr:
+        expr = self._not_expr()
+        while self.accept("KEYWORD", "AND"):
+            expr = BinaryOp("AND", expr, self._not_expr())
+        return expr
+
+    def _not_expr(self) -> Expr:
+        if self.accept("KEYWORD", "NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        expr = self._additive()
+        if self.check("OP") and self.current.value in ("=", "<>", "<", "<=", ">", ">="):
+            op = self.advance().value
+            return BinaryOp(op, expr, self._additive())
+        if self.accept("KEYWORD", "IS"):
+            negated = bool(self.accept("KEYWORD", "NOT"))
+            self.expect("KEYWORD", "NULL")
+            return UnaryOp("ISNOTNULL" if negated else "ISNULL", expr)
+        negated = False
+        if self.check("KEYWORD", "NOT") and self._peek_kind_after_not():
+            self.advance()
+            negated = True
+        if self.accept("KEYWORD", "IN"):
+            return self._in_list(expr, negated)
+        if self.accept("KEYWORD", "BETWEEN"):
+            low = self._additive()
+            self.expect("KEYWORD", "AND")
+            high = self._additive()
+            between = BinaryOp("AND",
+                               BinaryOp(">=", expr, low),
+                               BinaryOp("<=", expr, high))
+            return UnaryOp("NOT", between) if negated else between
+        if self.accept("KEYWORD", "LIKE"):
+            pattern = self.expect("STRING")
+            return Like(expr, pattern.value, negated)
+        if negated:  # pragma: no cover - guarded by _peek_kind_after_not
+            raise ParseError("expected IN, BETWEEN, or LIKE after NOT",
+                             self.current.position, self.text)
+        return expr
+
+    def _peek_kind_after_not(self) -> bool:
+        """True if NOT starts a postfix predicate (NOT IN/BETWEEN/LIKE)."""
+        nxt = self.tokens[self.pos + 1]
+        return nxt.kind == "KEYWORD" and nxt.value in ("IN", "BETWEEN",
+                                                       "LIKE")
+
+    def _in_list(self, operand: Expr, negated: bool) -> Expr:
+        self.expect("OP", "(")
+        values: List[Literal] = []
+        while True:
+            value = self._primary()
+            if not isinstance(value, Literal):
+                raise ParseError("IN lists support literal values only",
+                                 self.current.position, self.text)
+            values.append(value)
+            if not self.accept("OP", ","):
+                break
+        self.expect("OP", ")")
+        return InList(operand, tuple(values), negated)
+
+    def _additive(self) -> Expr:
+        expr = self._multiplicative()
+        while self.check("OP") and self.current.value in ("+", "-"):
+            op = self.advance().value
+            expr = BinaryOp(op, expr, self._multiplicative())
+        return expr
+
+    def _multiplicative(self) -> Expr:
+        expr = self._unary()
+        while self.check("OP") and self.current.value in ("*", "/", "%"):
+            op = self.advance().value
+            expr = BinaryOp(op, expr, self._unary())
+        return expr
+
+    def _unary(self) -> Expr:
+        if self.accept("OP", "-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            value: object = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "PARAM":
+            self.advance()
+            # Unbound parameter: carries its name; the engine binds a value
+            # per job instance (recurring signatures keep only the name).
+            return Literal(None, param_name=token.value)
+        if token.matches("KEYWORD", "NULL"):
+            self.advance()
+            return Literal(None)
+        if token.matches("KEYWORD", "TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.matches("KEYWORD", "FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.matches("KEYWORD", "CASE"):
+            return self._case_expr()
+        if token.matches("OP", "("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("OP", ")")
+            return expr
+        if token.kind == "IDENT":
+            self.advance()
+            if self.check("OP", "("):
+                return self._func_call(token.value)
+            if self.accept("OP", "."):
+                if self.accept("OP", "*"):
+                    return Star(token.value)
+                column = self.expect("IDENT").value
+                return ColumnRef(column, table=token.value)
+            return ColumnRef(token.value)
+        raise ParseError(f"unexpected token {token.value or token.kind!r}",
+                         token.position, self.text)
+
+    def _func_call(self, name: str) -> Expr:
+        self.expect("OP", "(")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        args: List[Expr] = []
+        if self.accept("OP", "*"):
+            # COUNT(*) -- model as zero-argument COUNT.
+            self.expect("OP", ")")
+            return FuncCall(name, (), distinct)
+        if not self.check("OP", ")"):
+            args.append(self.parse_expr())
+            while self.accept("OP", ","):
+                args.append(self.parse_expr())
+        self.expect("OP", ")")
+        return FuncCall(name, tuple(args), distinct)
+
+    def _case_expr(self) -> Expr:
+        self.expect("KEYWORD", "CASE")
+        conditions: List[Expr] = []
+        results: List[Expr] = []
+        while self.accept("KEYWORD", "WHEN"):
+            conditions.append(self.parse_expr())
+            self.expect("KEYWORD", "THEN")
+            results.append(self.parse_expr())
+        if not conditions:
+            raise ParseError("CASE requires at least one WHEN",
+                             self.current.position, self.text)
+        default = self.parse_expr() if self.accept("KEYWORD", "ELSE") else None
+        self.expect("KEYWORD", "END")
+        return CaseWhen(tuple(conditions), tuple(results), default)

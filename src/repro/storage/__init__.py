@@ -1,0 +1,6 @@
+"""Simulated stable storage: stream data and materialized views."""
+
+from repro.storage.store import DataStore
+from repro.storage.views import DEFAULT_VIEW_TTL, MaterializedView, ViewStore
+
+__all__ = ["DataStore", "DEFAULT_VIEW_TTL", "MaterializedView", "ViewStore"]

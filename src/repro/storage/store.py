@@ -1,0 +1,67 @@
+"""Simulated stable storage for stream data.
+
+Rows live in memory, keyed by stream GUID.  The executor reads rows for a
+:class:`~repro.plan.logical.Scan` through this store; materialized views
+write their rows here too (under their view path), so reuse reads exactly
+what the producing job wrote.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import StorageError
+from repro.plan.expressions import Row
+
+
+class DataStore:
+    """In-memory blob store: GUID/path -> list of rows."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, List[Row]] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def put(self, key: str, rows: List[Row], row_bytes: int = 0) -> None:
+        """Store ``rows`` under ``key`` (overwrites: streams are immutable
+        per GUID, so an overwrite only happens when re-materializing the
+        same view path)."""
+        self._blobs[key] = list(rows)
+        self.bytes_written += row_bytes or _estimate_bytes(rows)
+
+    def get(self, key: str) -> List[Row]:
+        try:
+            rows = self._blobs[key]
+        except KeyError:
+            raise StorageError(f"no data stored under key {key!r}") from None
+        self.bytes_read += _estimate_bytes(rows)
+        return rows
+
+    def has(self, key: str) -> bool:
+        return key in self._blobs
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def size_of(self, key: str) -> int:
+        rows = self._blobs.get(key)
+        return 0 if rows is None else _estimate_bytes(rows)
+
+    def keys(self) -> List[str]:
+        return sorted(self._blobs)
+
+
+def _estimate_bytes(rows: List[Row]) -> int:
+    """Rough byte size of a row list (sampling the first row's width)."""
+    if not rows:
+        return 0
+    first = rows[0]
+    width = 0
+    for value in first.values():
+        if isinstance(value, str):
+            width += max(1, len(value))
+        elif isinstance(value, bool):
+            width += 1
+        else:
+            width += 8
+    return width * len(rows)

@@ -1,0 +1,162 @@
+"""Materialized-view store with expiry, sealing, and storage accounting.
+
+CloudViews treats views as "cheap throwaway views that are recreated
+whenever the inputs change" (Section 2.4).  This store captures their
+production lifecycle:
+
+* **creation** happens as a side effect of query processing (the Spool
+  operator writes here);
+* **early sealing**: "the job manager makes the view available even before
+  the query finishes" (Section 2.3) -- a view starts unsealed and becomes
+  visible to matching the moment its producing stage completes;
+* **expiry**: "our current eviction policies expire each of the views after
+  one week of creation, thus consuming a fixed amount of storage" (§3.1);
+* **purging**: users "can see the CloudViews-generated files ... and even
+  purge views whenever necessary" (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import SECONDS_PER_WEEK
+from repro.common.errors import StorageError
+
+DEFAULT_VIEW_TTL = SECONDS_PER_WEEK
+
+
+@dataclass
+class MaterializedView:
+    """Metadata for one materialized common subexpression."""
+
+    signature: str
+    path: str
+    schema: Tuple[str, ...]
+    virtual_cluster: str
+    created_at: float
+    expires_at: float
+    recurring_signature: str = ""
+    row_count: int = 0
+    size_bytes: int = 0
+    sealed: bool = False
+    sealed_at: Optional[float] = None
+    purged: bool = False
+    reuse_count: int = 0
+    #: The defining logical subplan (used by the optional containment
+    #: matcher of Section 5.3); None for views restored from metadata.
+    definition: object = None
+
+    def available(self, now: float) -> bool:
+        """Visible to view matching: sealed by ``now``, unexpired, not purged."""
+        if not self.sealed or self.purged:
+            return False
+        if self.sealed_at is not None and now < self.sealed_at:
+            return False
+        return now < self.expires_at
+
+
+class ViewStore:
+    """Catalog of materialized views, keyed by strict signature."""
+
+    def __init__(self, ttl_seconds: float = DEFAULT_VIEW_TTL):
+        self.ttl_seconds = ttl_seconds
+        self._views: Dict[str, MaterializedView] = {}
+        self.total_created = 0
+        self.total_reused = 0
+        self.total_expired = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def begin_materialize(self, signature: str, path: str,
+                          schema: Tuple[str, ...], virtual_cluster: str,
+                          now: float,
+                          ttl_seconds: Optional[float] = None,
+                          recurring_signature: str = "",
+                          definition: object = None) -> MaterializedView:
+        """Register a view whose materialization has started (unsealed)."""
+        existing = self._views.get(signature)
+        if existing is not None and existing.available(now):
+            raise StorageError(
+                f"view {signature[:8]} already materialized and available")
+        ttl = self.ttl_seconds if ttl_seconds is None else ttl_seconds
+        view = MaterializedView(
+            signature=signature,
+            path=path,
+            schema=tuple(schema),
+            virtual_cluster=virtual_cluster,
+            created_at=now,
+            expires_at=now + ttl,
+            recurring_signature=recurring_signature,
+            definition=definition,
+        )
+        self._views[signature] = view
+        return view
+
+    def seal(self, signature: str, now: float, row_count: int,
+             size_bytes: int) -> MaterializedView:
+        """Early-seal a view: it becomes visible for reuse immediately."""
+        view = self._require(signature)
+        view.sealed = True
+        view.sealed_at = now
+        view.row_count = row_count
+        view.size_bytes = size_bytes
+        self.total_created += 1
+        return view
+
+    def abandon(self, signature: str) -> None:
+        """Forget an unsealed view (producing job failed before sealing)."""
+        view = self._views.get(signature)
+        if view is not None and not view.sealed:
+            del self._views[signature]
+
+    def purge(self, signature: str) -> None:
+        """User-initiated deletion of a view's files."""
+        self._require(signature).purged = True
+
+    # ------------------------------------------------------------------ #
+    # lookup
+
+    def lookup(self, signature: str, now: float) -> Optional[MaterializedView]:
+        """Return the view if it is available for reuse at ``now``."""
+        view = self._views.get(signature)
+        if view is not None and view.available(now):
+            return view
+        return None
+
+    def record_reuse(self, signature: str) -> None:
+        view = self._require(signature)
+        view.reuse_count += 1
+        self.total_reused += 1
+
+    def is_materializing(self, signature: str, now: float) -> bool:
+        """True while a producing job holds the view-in-progress slot."""
+        view = self._views.get(signature)
+        return view is not None and not view.sealed and not view.purged
+
+    def evict_expired(self, now: float) -> List[MaterializedView]:
+        """Drop expired views; returns what was evicted."""
+        expired = [v for v in self._views.values()
+                   if v.sealed and now >= v.expires_at]
+        for view in expired:
+            del self._views[view.signature]
+            self.total_expired += 1
+        return expired
+
+    # ------------------------------------------------------------------ #
+    # accounting
+
+    def storage_in_use(self, now: float) -> int:
+        """Bytes held by currently available views (the paper's "fixed
+        amount of storage in the stable state")."""
+        return sum(v.size_bytes for v in self._views.values() if v.available(now))
+
+    def views(self) -> List[MaterializedView]:
+        return list(self._views.values())
+
+    def _require(self, signature: str) -> MaterializedView:
+        view = self._views.get(signature)
+        if view is None:
+            raise StorageError(f"unknown view {signature[:8]}")
+        return view

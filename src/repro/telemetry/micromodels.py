@@ -1,0 +1,132 @@
+"""Micro-models: per-template performance predictors (Section 5.2).
+
+"The notion of signatures ... turned out to be very helpful ... for
+applications such as ... learning high accuracy micro-models for specific
+portions of the workload" (the Microlearner line of work the paper cites).
+
+A :class:`MicroModel` is deliberately tiny: one model *per recurring
+template*, fit on that template's own history.  Global models struggle on
+heterogeneous cloud workloads; per-template models are near-trivial and
+accurate because recurring instances are so similar.  We fit a robust
+scale-with-input predictor: ``metric ≈ base + slope * input_rows``, with
+median-based estimation so stragglers don't skew it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.simulator import JobTelemetry
+from repro.telemetry.comparison import percentile
+
+
+@dataclass(frozen=True)
+class MicroModel:
+    """Predictor for one (template, metric) pair."""
+
+    template_id: str
+    metric: str
+    base: float
+    slope: float
+    observations: int
+
+    def predict(self, input_rows: int) -> float:
+        return max(0.0, self.base + self.slope * input_rows)
+
+
+@dataclass
+class MicroModelBank:
+    """All fitted micro-models, keyed by template."""
+
+    metric: str
+    models: Dict[str, MicroModel] = field(default_factory=dict)
+
+    def predict(self, template_id: str, input_rows: int) -> Optional[float]:
+        model = self.models.get(template_id)
+        if model is None:
+            return None
+        return model.predict(input_rows)
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+
+def fit_micromodels(telemetry: Sequence[JobTelemetry],
+                    template_of: Dict[str, str],
+                    metric: str = "processing_time",
+                    min_observations: int = 3) -> MicroModelBank:
+    """Fit one model per template from observed telemetry.
+
+    Uses the median-slope (Theil-Sen-style over the extreme pairs) so a
+    single outlier run does not corrupt the model.
+    """
+    samples: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
+    for t in telemetry:
+        template = template_of.get(t.job_id)
+        if template is None:
+            continue
+        samples[template].append((t.input_rows, float(getattr(t, metric))))
+
+    bank = MicroModelBank(metric=metric)
+    for template, points in samples.items():
+        if len(points) < min_observations:
+            continue
+        bank.models[template] = _fit_one(template, metric, points)
+    return bank
+
+
+def _fit_one(template: str, metric: str,
+             points: List[Tuple[int, float]]) -> MicroModel:
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_spread = max(xs) - min(xs)
+    if x_spread == 0:
+        return MicroModel(template, metric, base=percentile(ys, 50.0),
+                          slope=0.0, observations=len(points))
+    # Median of pairwise slopes over sorted-x pairs (robust).
+    ordered = sorted(points)
+    slopes = []
+    for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+        if x1 != x0:
+            slopes.append((y1 - y0) / (x1 - x0))
+    slope = percentile(slopes, 50.0) if slopes else 0.0
+    residuals = [y - slope * x for x, y in points]
+    base = percentile(residuals, 50.0)
+    return MicroModel(template, metric, base=base, slope=slope,
+                      observations=len(points))
+
+
+@dataclass
+class PredictionQuality:
+    """Accuracy of a model bank over held-out telemetry."""
+
+    evaluated: int = 0
+    median_relative_error: float = 0.0
+    within_20_percent: float = 0.0
+
+
+def evaluate_micromodels(bank: MicroModelBank,
+                         telemetry: Sequence[JobTelemetry],
+                         template_of: Dict[str, str]) -> PredictionQuality:
+    """Relative-error statistics of the bank on ``telemetry``."""
+    errors: List[float] = []
+    for t in telemetry:
+        template = template_of.get(t.job_id)
+        if template is None:
+            continue
+        predicted = bank.predict(template, t.input_rows)
+        if predicted is None:
+            continue
+        actual = float(getattr(t, bank.metric))
+        if actual <= 0:
+            continue
+        errors.append(abs(predicted - actual) / actual)
+    if not errors:
+        return PredictionQuality()
+    return PredictionQuality(
+        evaluated=len(errors),
+        median_relative_error=percentile(errors, 50.0),
+        within_20_percent=sum(1 for e in errors if e <= 0.2) / len(errors),
+    )

@@ -1,0 +1,54 @@
+"""Workload infrastructure: generator, repository, analysis."""
+
+from repro.workload.generator import (
+    CookingWorkload,
+    JobInstance,
+    JobTemplate,
+    day_string,
+    generate_workload,
+)
+from repro.workload.analysis import (
+    OverlapPoint,
+    SharingPoint,
+    consumer_distribution,
+    overlap_series,
+    pipeline_summary,
+    sharing_summary,
+)
+from repro.workload.compression import (
+    CompressedWorkload,
+    RepresentativeJob,
+    compress_workload,
+    replay_plan,
+)
+from repro.workload.patterns import (
+    QueryPattern,
+    discover_patterns,
+    render_patterns,
+)
+from repro.workload.persistence import (
+    load_repository,
+    merge_captures,
+    save_repository,
+)
+from repro.workload.profiling import (
+    compile_only_repository,
+    synthesize_dataset_sharing,
+)
+from repro.workload.repository import (
+    JobRecord,
+    SubexpressionRecord,
+    WorkloadRepository,
+)
+
+__all__ = [
+    "CookingWorkload", "JobInstance", "JobTemplate", "day_string",
+    "generate_workload", "JobRecord", "SubexpressionRecord",
+    "WorkloadRepository", "OverlapPoint", "SharingPoint",
+    "consumer_distribution", "overlap_series", "pipeline_summary",
+    "sharing_summary", "CompressedWorkload", "RepresentativeJob",
+    "compress_workload", "replay_plan", "load_repository",
+    "merge_captures", "save_repository", "compile_only_repository",
+    "synthesize_dataset_sharing", "QueryPattern", "discover_patterns",
+    "render_patterns",
+]

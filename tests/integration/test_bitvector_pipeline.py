@@ -1,0 +1,137 @@
+"""Integration tests: bit-vector filter reuse and pipeline optimization."""
+
+import pytest
+
+from repro.catalog import schema_of
+from repro.engine import ScopeEngine
+from repro.extensions import (
+    BitVectorCatalog,
+    plan_semi_join_reductions,
+    publish_filters_from_run,
+    suggest_physical_designs,
+)
+
+
+@pytest.fixture
+def engine():
+    eng = ScopeEngine()
+    eng.register_table(
+        schema_of("Facts", [("k", "int"), ("v", "float"), ("tag", "str")]),
+        [dict(k=i % 100, v=float(i), tag=f"t{i % 4}") for i in range(500)])
+    eng.register_table(
+        schema_of("Dims", [("k", "int"), ("label", "str")]),
+        # Only even keys exist on the build side: half the probe rows are
+        # guaranteed non-joining and removable by the filter.
+        [dict(k=i * 2, label=f"l{i}") for i in range(25)])
+    return eng
+
+
+JOIN_SQL = ("SELECT label, SUM(v) AS s FROM Facts JOIN Dims "
+            "GROUP BY label")
+
+
+class TestBitVectorReuse:
+    def test_publish_from_first_run(self, engine):
+        catalog = BitVectorCatalog()
+        run = engine.run_sql(JOIN_SQL, reuse_enabled=False)
+        published = publish_filters_from_run(
+            run, catalog, engine.store, salt=engine.signature_salt)
+        assert published == 1
+
+    def test_subsequent_query_reduces_probe_side(self, engine):
+        catalog = BitVectorCatalog()
+        run = engine.run_sql(JOIN_SQL, reuse_enabled=False)
+        publish_filters_from_run(run, catalog, engine.store,
+                                 salt=engine.signature_salt)
+        compiled = engine.compile(JOIN_SQL, reuse_enabled=False)
+        reductions = plan_semi_join_reductions(
+            compiled.plan, catalog, engine.store,
+            salt=engine.signature_salt)
+        assert len(reductions) == 1
+        reduction = reductions[0]
+        # Odd keys (roughly half the probe rows) cannot join.
+        assert reduction["rows_eliminated"] > reduction["probe_rows"] * 0.3
+        assert catalog.hits == 1
+
+    def test_semi_join_reduction_is_safe(self, engine):
+        """Rows surviving the filter produce the same join result."""
+        from repro.executor.executor import _hash_join
+        from repro.extensions import build_join_filter, semi_join_reduce
+        from repro.plan.logical import Join
+
+        compiled = engine.compile(JOIN_SQL, reuse_enabled=False)
+        join = next(n for n in compiled.plan.walk() if isinstance(n, Join))
+        from repro.executor import Executor
+        executor = Executor(engine.store)
+        probe = executor.execute(join.left).rows
+        build = executor.execute(join.right).rows
+        bloom = build_join_filter(build, join.right_keys)
+        reduced = semi_join_reduce(probe, join.left_keys, bloom)
+        full = _hash_join(join, probe, build)
+        filtered = _hash_join(join, reduced, build)
+        assert sorted(map(repr, full)) == sorted(map(repr, filtered))
+
+    def test_filter_stale_after_bulk_update(self, engine):
+        catalog = BitVectorCatalog()
+        run = engine.run_sql(JOIN_SQL, reuse_enabled=False)
+        publish_filters_from_run(run, catalog, engine.store,
+                                 salt=engine.signature_salt)
+        engine.bulk_update("Dims", [dict(k=i * 3, label=f"x{i}")
+                                    for i in range(20)])
+        compiled = engine.compile(JOIN_SQL, reuse_enabled=False)
+        reductions = plan_semi_join_reductions(
+            compiled.plan, catalog, engine.store,
+            salt=engine.signature_salt)
+        # The build-side signature changed: no stale filter is applied.
+        assert reductions == []
+        assert catalog.misses >= 1
+
+    def test_duplicate_publication_skipped(self, engine):
+        catalog = BitVectorCatalog()
+        run = engine.run_sql(JOIN_SQL, reuse_enabled=False)
+        assert publish_filters_from_run(run, catalog, engine.store) == 1
+        run2 = engine.run_sql(JOIN_SQL, reuse_enabled=False)
+        assert publish_filters_from_run(run2, catalog, engine.store) == 0
+
+
+class TestPipelineOptimization:
+    def compile_all(self, engine, queries):
+        return [engine.compile(sql, reuse_enabled=False).plan
+                for sql in queries]
+
+    def test_suggests_dominant_join_key(self, engine):
+        plans = self.compile_all(engine, [
+            JOIN_SQL,
+            "SELECT label, COUNT(*) AS n FROM Facts JOIN Dims GROUP BY label",
+            "SELECT tag, COUNT(*) AS n FROM Facts WHERE v > 10 GROUP BY tag",
+        ])
+        suggestions = suggest_physical_designs(plans)
+        by_dataset = {s.dataset: s for s in suggestions}
+        assert by_dataset["Facts"].partition_key == "k"
+        assert by_dataset["Dims"].partition_key == "k"
+        assert by_dataset["Facts"].consumers_served == 2
+
+    def test_weighting_by_recurrence(self, engine):
+        engine.register_table(
+            schema_of("Other", [("tag", "str"), ("w", "int")]),
+            [dict(tag=f"t{i % 4}", w=i) for i in range(16)])
+        plans = self.compile_all(engine, [
+            JOIN_SQL,                                        # joins on k
+            "SELECT w, COUNT(*) AS n FROM Facts JOIN Other "
+            "GROUP BY w",                                    # joins on tag
+        ])
+        # The tag-join consumer recurs 10x as often: tag should win.
+        suggestions = suggest_physical_designs(plans, weights=[1.0, 10.0])
+        facts = next(s for s in suggestions if s.dataset == "Facts")
+        assert facts.partition_key == "tag"
+
+    def test_coverage_fraction(self, engine):
+        plans = self.compile_all(engine, [JOIN_SQL])
+        (dims,) = [s for s in suggest_physical_designs(plans)
+                   if s.dataset == "Dims"]
+        assert dims.coverage == 1.0
+
+    def test_no_joins_no_suggestions(self, engine):
+        plans = self.compile_all(engine, [
+            "SELECT tag, COUNT(*) AS n FROM Facts GROUP BY tag"])
+        assert suggest_physical_designs(plans) == []

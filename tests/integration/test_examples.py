@@ -1,0 +1,24 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[2].joinpath("examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

@@ -1,0 +1,27 @@
+"""Integration test: the query monitor attached to a full simulation."""
+
+from repro.core import SimulationConfig, WorkloadSimulation
+from repro.engine import QueryMonitor
+from repro.workload import generate_workload
+
+
+def test_monitor_surfaces_reuse_in_simulation():
+    workload = generate_workload(seed=7, virtual_clusters=2,
+                                 templates_per_vc=10, adhoc_per_day=0)
+    monitor = QueryMonitor()
+    config = SimulationConfig(days=4, cloudviews_enabled=True)
+    report = WorkloadSimulation(workload, config, monitor=monitor).run()
+
+    assert len(monitor.jobs()) == len(report.telemetry)
+    touched = monitor.touched_jobs()
+    assert touched  # some jobs built or reused views
+    # Every reuse the telemetry saw is visible in the monitor.
+    telemetry_reuses = sum(t.views_reused for t in report.telemetry)
+    monitor_reuses = sum(j.views_reused for j in monitor.jobs())
+    assert monitor_reuses == telemetry_reuses
+    # The drill-down renders CloudView markers for a reusing job.
+    reuser = next(j for j in touched if j.views_reused > 0)
+    drilldown = monitor.render_job(reuser.job_id)
+    assert "reused CloudView" in drilldown
+    summary = monitor.render_summary()
+    assert reuser.job_id in summary

@@ -1,0 +1,136 @@
+"""Property-based tests for the physical join kernels and new predicates."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.executor.executor import (
+    _hash_join,
+    _merge_join,
+    _nested_loop_join,
+)
+from repro.plan.expressions import ColumnRef, InList, Like, Literal
+from repro.plan.logical import Join, Scan
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+left_rows = st.lists(
+    st.fixed_dictionaries({"k": st.integers(0, 8),
+                           "v": st.integers(-100, 100)}),
+    max_size=25)
+right_rows = st.lists(
+    st.fixed_dictionaries({"rk": st.integers(0, 8),
+                           "w": st.integers(-100, 100)}),
+    max_size=25)
+
+
+def make_join(how="inner"):
+    left = Scan("L", ("k", "v"), "g1")
+    right = Scan("R", ("rk", "w"), "g2")
+    return Join(left, right, (ColumnRef("k"),), (ColumnRef("rk"),),
+                how=how)
+
+
+def canon(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+@SETTINGS
+@given(left_rows, right_rows)
+def test_all_join_algorithms_agree_inner(left, right):
+    join = make_join("inner")
+    expected = canon(_nested_loop_join(join, left, right))
+    assert canon(_hash_join(join, left, right)) == expected
+    assert canon(_merge_join(join, left, right)) == expected
+
+
+@SETTINGS
+@given(left_rows, right_rows)
+def test_all_join_algorithms_agree_left(left, right):
+    join = make_join("left")
+    expected = canon(_nested_loop_join(join, left, right))
+    assert canon(_hash_join(join, left, right)) == expected
+    assert canon(_merge_join(join, left, right)) == expected
+
+
+@SETTINGS
+@given(left_rows, right_rows)
+def test_inner_join_output_bounded(left, right):
+    join = make_join("inner")
+    out = _hash_join(join, left, right)
+    assert len(out) <= len(left) * len(right)
+    # Every output row joins on equal keys.
+    for row in out:
+        assert row["k"] == row["rk"] or "rk" not in row
+
+
+@SETTINGS
+@given(left_rows, right_rows)
+def test_left_join_preserves_left_cardinality_lower_bound(left, right):
+    join = make_join("left")
+    out = _hash_join(join, left, right)
+    assert len(out) >= len(left)
+
+
+# --------------------------------------------------------------------- #
+# IN / LIKE properties
+
+
+@SETTINGS
+@given(st.lists(st.integers(-20, 20), min_size=1, max_size=8),
+       st.integers(-25, 25))
+def test_in_list_equivalent_to_disjunction(values, probe):
+    expr = InList(ColumnRef("x"), tuple(Literal(v) for v in values))
+    row = {"x": probe}
+    assert expr.evaluate(row) == (probe in values)
+    negated = InList(ColumnRef("x"), tuple(Literal(v) for v in values),
+                     negated=True)
+    assert negated.evaluate(row) == (probe not in values)
+
+
+@SETTINGS
+@given(st.lists(st.integers(-20, 20), min_size=1, max_size=8),
+       st.randoms(use_true_random=False))
+def test_in_list_canonical_order_insensitive(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    a = InList(ColumnRef("x"), tuple(Literal(v) for v in values))
+    b = InList(ColumnRef("x"), tuple(Literal(v) for v in shuffled))
+    assert a.canonical() == b.canonical()
+
+
+_text = st.text(alphabet="abc", max_size=6)
+
+
+@SETTINGS
+@given(_text)
+def test_like_percent_matches_everything(value):
+    expr = Like(ColumnRef("s"), "%")
+    assert expr.evaluate({"s": value}) is True
+
+
+@SETTINGS
+@given(_text, _text)
+def test_like_exact_pattern_is_equality(value, pattern):
+    if "%" in pattern or "_" in pattern:
+        return
+    expr = Like(ColumnRef("s"), pattern)
+    assert expr.evaluate({"s": value}) == (value == pattern)
+
+
+@SETTINGS
+@given(_text, _text)
+def test_like_prefix_pattern(value, prefix):
+    expr = Like(ColumnRef("s"), prefix + "%")
+    assert expr.evaluate({"s": value}) == value.startswith(prefix)
+
+
+@SETTINGS
+@given(_text)
+def test_not_like_is_complement(value):
+    pattern = "a%"
+    positive = Like(ColumnRef("s"), pattern)
+    negative = Like(ColumnRef("s"), pattern, negated=True)
+    row = {"s": value}
+    assert positive.evaluate(row) != negative.evaluate(row)

@@ -1,0 +1,220 @@
+"""Unit tests for AST -> logical-plan lowering and name binding."""
+
+import pytest
+
+from repro.catalog import Catalog, schema_of
+from repro.common.errors import BindError, PlanError
+from repro.plan import (
+    Distinct,
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    PlanBuilder,
+    Process,
+    Project,
+    Scan,
+    Sort,
+    Union,
+)
+from repro.sql import parse
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(schema_of("Sales", [
+        ("CustomerId", "int"), ("PartId", "int"), ("Price", "float"),
+        ("Quantity", "int"), ("Discount", "float")]), 100)
+    cat.register(schema_of("Customer", [
+        ("CustomerId", "int"), ("MktSegment", "str"), ("Name", "str")]), 50)
+    cat.register(schema_of("Parts", [
+        ("PartId", "int"), ("Brand", "str"), ("PartType", "str")]), 20)
+    return cat
+
+
+def build(catalog, sql, params=None):
+    return PlanBuilder(catalog, params).build(parse(sql))
+
+
+def test_scan_binds_current_guid(catalog):
+    plan = build(catalog, "SELECT CustomerId FROM Customer")
+    scan = plan.children()[0]
+    assert isinstance(scan, Scan)
+    assert scan.stream_guid == catalog.current_guid("Customer")
+
+
+def test_guid_rebinds_after_bulk_update(catalog):
+    before = build(catalog, "SELECT CustomerId FROM Customer")
+    catalog.bulk_update("Customer")
+    after = build(catalog, "SELECT CustomerId FROM Customer")
+    assert before.children()[0].stream_guid != after.children()[0].stream_guid
+
+
+def test_projection_names_and_aliases(catalog):
+    plan = build(catalog, "SELECT Name AS n, MktSegment FROM Customer")
+    assert plan.schema == ("n", "MktSegment")
+
+
+def test_star_expansion(catalog):
+    plan = build(catalog, "SELECT * FROM Parts")
+    assert plan.schema == ("PartId", "Brand", "PartType")
+
+
+def test_unknown_dataset_raises(catalog):
+    from repro.common.errors import CatalogError
+    with pytest.raises(CatalogError):
+        build(catalog, "SELECT a FROM Nope")
+
+
+def test_unknown_column_raises(catalog):
+    with pytest.raises(BindError):
+        build(catalog, "SELECT Nope FROM Customer")
+
+
+def test_natural_join_on_shared_column(catalog):
+    plan = build(catalog, "SELECT Name FROM Sales JOIN Customer")
+    joins = [n for n in plan.walk() if isinstance(n, Join)]
+    assert len(joins) == 1
+    join = joins[0]
+    assert [k.to_sql() for k in join.left_keys] == ["CustomerId"]
+    assert join.drop_right  # the duplicate right-side key is elided
+    # Shared column resolves to a single output key.
+    assert "CustomerId" in join.schema
+    assert sum(1 for c in join.schema if c.endswith("CustomerId")) == 1
+
+
+def test_explicit_on_join_decomposed(catalog):
+    plan = build(
+        catalog,
+        "SELECT Name FROM Sales s JOIN Customer c "
+        "ON s.CustomerId = c.CustomerId AND c.MktSegment = 'Asia'")
+    join = next(n for n in plan.walk() if isinstance(n, Join))
+    assert len(join.left_keys) == 1
+    assert join.residual is not None  # the segment predicate stays residual
+
+
+def test_ambiguous_column_requires_qualifier(catalog):
+    with pytest.raises(BindError):
+        build(catalog,
+              "SELECT CustomerId FROM Sales s JOIN Customer c "
+              "ON s.CustomerId = c.CustomerId")
+
+
+def test_qualified_reference_resolves_renamed_column(catalog):
+    plan = build(catalog,
+                 "SELECT c.CustomerId FROM Sales s JOIN Customer c "
+                 "ON s.CustomerId = c.CustomerId")
+    assert plan.schema == ("CustomerId",)
+
+
+def test_duplicate_alias_rejected(catalog):
+    with pytest.raises(BindError):
+        build(catalog, "SELECT Name FROM Customer c JOIN Customer c")
+
+
+def test_group_by_lowering(catalog):
+    plan = build(catalog,
+                 "SELECT CustomerId, AVG(Price) FROM Sales GROUP BY CustomerId")
+    assert isinstance(plan, Project)
+    group = plan.child
+    assert isinstance(group, GroupBy)
+    assert [k.name for k in group.keys] == ["CustomerId"]
+    assert len(group.aggregates) == 1
+
+
+def test_global_aggregate_without_group_by(catalog):
+    plan = build(catalog, "SELECT SUM(Price) FROM Sales")
+    group = next(n for n in plan.walk() if isinstance(n, GroupBy))
+    assert group.keys == ()
+
+
+def test_having_becomes_filter_over_group(catalog):
+    plan = build(catalog,
+                 "SELECT CustomerId FROM Sales GROUP BY CustomerId "
+                 "HAVING SUM(Quantity) > 5")
+    assert isinstance(plan, Project)
+    assert isinstance(plan.child, Filter)
+    assert isinstance(plan.child.child, GroupBy)
+
+
+def test_having_without_group_rejected(catalog):
+    with pytest.raises(PlanError):
+        build(catalog, "SELECT Price FROM Sales HAVING Price > 5")
+
+
+def test_non_grouped_column_rejected(catalog):
+    with pytest.raises(PlanError):
+        build(catalog,
+              "SELECT Price, SUM(Quantity) FROM Sales GROUP BY CustomerId")
+
+
+def test_aggregate_in_where_rejected(catalog):
+    with pytest.raises(PlanError):
+        build(catalog, "SELECT Price FROM Sales WHERE SUM(Price) > 5")
+
+
+def test_arithmetic_over_aggregates(catalog):
+    plan = build(catalog,
+                 "SELECT SUM(Price) / SUM(Quantity) FROM Sales")
+    group = next(n for n in plan.walk() if isinstance(n, GroupBy))
+    assert len(group.aggregates) == 2
+
+
+def test_distinct_wraps_projection(catalog):
+    plan = build(catalog, "SELECT DISTINCT MktSegment FROM Customer")
+    assert isinstance(plan, Distinct)
+
+
+def test_union_all(catalog):
+    plan = build(catalog,
+                 "SELECT Name FROM Customer UNION ALL SELECT Brand FROM Parts")
+    assert isinstance(plan, Union)
+    assert plan.all
+
+
+def test_union_distinct_adds_distinct(catalog):
+    plan = build(catalog,
+                 "SELECT Name FROM Customer UNION SELECT Brand FROM Parts")
+    assert isinstance(plan, Distinct)
+
+
+def test_order_by_limit(catalog):
+    plan = build(catalog,
+                 "SELECT Name FROM Customer ORDER BY Name DESC LIMIT 3")
+    assert isinstance(plan, Limit)
+    assert isinstance(plan.child, Sort)
+    assert plan.child.ascending == (False,)
+
+
+def test_order_by_unknown_column_rejected(catalog):
+    with pytest.raises(BindError):
+        build(catalog, "SELECT Name FROM Customer ORDER BY Nope")
+
+
+def test_subquery_in_from(catalog):
+    plan = build(catalog,
+                 "SELECT n FROM (SELECT Name AS n FROM Customer) AS s")
+    assert plan.schema == ("n",)
+
+
+def test_process_clause_lowered(catalog):
+    plan = build(catalog,
+                 "SELECT Name FROM Customer PROCESS USING Scrub DEPTH 2")
+    assert isinstance(plan, Process)
+    assert plan.udo_name == "Scrub"
+    assert plan.dependency_depth == 2
+
+
+def test_param_binding(catalog):
+    plan = build(catalog,
+                 "SELECT Name FROM Customer WHERE MktSegment = @seg",
+                 params={"seg": "Asia"})
+    flt = next(n for n in plan.walk() if isinstance(n, Filter))
+    assert flt.predicate.right.value == "Asia"
+    assert flt.predicate.right.param_name == "seg"
+
+
+def test_duplicate_output_names_deduped(catalog):
+    plan = build(catalog, "SELECT Name, Name FROM Customer")
+    assert plan.schema == ("Name", "Name_1")

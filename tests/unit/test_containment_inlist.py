@@ -1,0 +1,69 @@
+"""Unit tests for IN-list containment (Section 5.3 extension)."""
+
+import pytest
+
+from repro.optimizer.containment import ContainmentChecker
+from repro.plan.expressions import (
+    BinaryOp,
+    ColumnRef,
+    InList,
+    Literal,
+    conjoin,
+)
+
+
+def in_list(column, values, negated=False):
+    return InList(ColumnRef(column), tuple(Literal(v) for v in values),
+                  negated)
+
+
+def cmp(column, op, value):
+    return BinaryOp(op, ColumnRef(column), Literal(value))
+
+
+@pytest.fixture
+def checker():
+    return ContainmentChecker()
+
+
+class TestInListContainment:
+    def test_superset_contains_subset(self, checker):
+        assert checker.contains(in_list("x", [1, 2, 3]),
+                                in_list("x", [1, 3]))
+        assert not checker.contains(in_list("x", [1, 3]),
+                                    in_list("x", [1, 2, 3]))
+
+    def test_in_list_contains_equality(self, checker):
+        assert checker.contains(in_list("x", [1, 2, 3]), cmp("x", "=", 2))
+        assert not checker.contains(in_list("x", [1, 3]), cmp("x", "=", 2))
+
+    def test_range_contains_in_list(self, checker):
+        assert checker.contains(cmp("x", ">", 0), in_list("x", [1, 2, 3]))
+        assert not checker.contains(cmp("x", ">", 2), in_list("x", [1, 5]))
+
+    def test_in_list_never_contains_range(self, checker):
+        assert not checker.contains(in_list("x", [1, 2, 3]),
+                                    cmp("x", ">", 1))
+
+    def test_string_members(self, checker):
+        assert checker.contains(in_list("seg", ["Asia", "Europe"]),
+                                cmp("seg", "=", "Asia"))
+        assert checker.contains(in_list("seg", ["Asia", "Europe"]),
+                                in_list("seg", ["Europe"]))
+
+    def test_negated_in_not_supported_soundly(self, checker):
+        # NOT IN is not normalized: the checker must answer False, never
+        # a wrong True.
+        assert not checker.contains(in_list("x", [1, 2], negated=True),
+                                    cmp("x", "=", 5))
+
+    def test_conjunction_with_in_list(self, checker):
+        general = conjoin([in_list("x", [1, 2, 3]), cmp("y", ">", 0)])
+        specific = conjoin([in_list("x", [1, 2]), cmp("y", ">", 5)])
+        assert checker.contains(general, specific)
+        assert not checker.contains(specific, general)
+
+    def test_duplicate_in_conjuncts_intersect(self, checker):
+        general = in_list("x", [2])
+        specific = conjoin([in_list("x", [1, 2]), in_list("x", [2, 3])])
+        assert checker.contains(general, specific)  # intersection is {2}

@@ -1,0 +1,83 @@
+"""Unit tests for the multi-level enablement controls."""
+
+from repro.core import DeploymentMode, MultiLevelControls
+
+
+class TestOptIn:
+    def test_default_disabled(self):
+        controls = MultiLevelControls()
+        assert not controls.enabled_for("vc1")
+
+    def test_explicit_opt_in(self):
+        controls = MultiLevelControls()
+        controls.enable_vc("vc1")
+        assert controls.enabled_for("vc1")
+        assert not controls.enabled_for("vc2")
+
+    def test_opt_back_out(self):
+        controls = MultiLevelControls()
+        controls.enable_vc("vc1")
+        controls.disable_vc("vc1")
+        assert not controls.enabled_for("vc1")
+
+    def test_clear_reverts_to_mode(self):
+        controls = MultiLevelControls()
+        controls.enable_vc("vc1")
+        controls.clear_vc("vc1")
+        assert not controls.enabled_for("vc1")
+
+
+class TestOptOut:
+    def test_untiered_vcs_default_enabled(self):
+        controls = MultiLevelControls(mode=DeploymentMode.OPT_OUT)
+        assert controls.enabled_for("vc1")
+
+    def test_explicit_opt_out_wins(self):
+        controls = MultiLevelControls(mode=DeploymentMode.OPT_OUT)
+        controls.disable_vc("vc1")
+        assert not controls.enabled_for("vc1")
+
+    def test_tiered_onboarding_lowest_first(self):
+        controls = MultiLevelControls(mode=DeploymentMode.OPT_OUT)
+        controls.assign_tier("bronze", 1)
+        controls.assign_tier("silver", 2)
+        controls.assign_tier("gold", 3)
+        controls.onboard_up_to_tier(2)
+        assert controls.enabled_for("bronze")
+        assert controls.enabled_for("silver")
+        assert not controls.enabled_for("gold")
+
+    def test_onboard_single_tier(self):
+        controls = MultiLevelControls(mode=DeploymentMode.OPT_OUT)
+        controls.assign_tier("bronze", 1)
+        controls.onboard_tier(1)
+        assert controls.enabled_for("bronze")
+
+
+class TestHierarchy:
+    def enabled_controls(self):
+        controls = MultiLevelControls()
+        controls.enable_vc("vc1")
+        return controls
+
+    def test_cluster_kill_switch(self):
+        controls = self.enabled_controls()
+        controls.cluster_enabled = False
+        assert not controls.enabled_for("vc1")
+
+    def test_service_kill_switch(self):
+        controls = self.enabled_controls()
+        assert not controls.enabled_for("vc1", service_enabled=False)
+
+    def test_job_override_can_disable(self):
+        controls = self.enabled_controls()
+        assert not controls.enabled_for("vc1", job_override=False)
+
+    def test_job_override_cannot_force_enable(self):
+        controls = MultiLevelControls()
+        assert not controls.enabled_for("vc1", job_override=True)
+
+    def test_full_stack_enabled(self):
+        controls = self.enabled_controls()
+        assert controls.enabled_for("vc1", job_override=True,
+                                    service_enabled=True)

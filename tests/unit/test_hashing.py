@@ -1,0 +1,45 @@
+"""Unit tests for deterministic hashing helpers."""
+
+from repro.common.hashing import combine_unordered, short_tag, stable_hash
+
+
+def test_stable_hash_deterministic():
+    assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+
+def test_stable_hash_distinguishes_boundaries():
+    assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+
+def test_stable_hash_distinguishes_types():
+    assert stable_hash(1) != stable_hash("1")
+    assert stable_hash(1) != stable_hash(1.0)
+    assert stable_hash(True) != stable_hash(1)
+
+
+def test_stable_hash_nested_structures():
+    assert stable_hash(["a", ["b", "c"]]) != stable_hash(["a", "b", ["c"]])
+    assert stable_hash(("x", "y")) == stable_hash(["x", "y"])
+
+
+def test_stable_hash_none():
+    assert stable_hash(None) != stable_hash("None")
+
+
+def test_combine_unordered_is_order_insensitive():
+    assert combine_unordered(["d1", "d2"]) == combine_unordered(["d2", "d1"])
+
+
+def test_combine_unordered_multiset():
+    assert combine_unordered(["d1", "d1"]) != combine_unordered(["d1"])
+
+
+def test_short_tag_truncates_and_differs_from_digest():
+    digest = stable_hash("x")
+    tag = short_tag(digest)
+    assert len(tag) == 8
+    assert not digest.startswith(tag)
+
+
+def test_short_tag_stable():
+    assert short_tag("abc") == short_tag("abc")

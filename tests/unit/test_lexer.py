@@ -1,0 +1,82 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("select FROM wHeRe")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+    assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+
+def test_identifiers_preserve_case():
+    token = tokenize("MktSegment")[0]
+    assert token.kind == "IDENT"
+    assert token.value == "MktSegment"
+
+
+def test_numbers_int_and_float():
+    tokens = tokenize("42 3.14")
+    assert tokens[0].kind == "NUMBER" and tokens[0].value == "42"
+    assert tokens[1].kind == "NUMBER" and tokens[1].value == "3.14"
+
+
+def test_qualified_name_not_decimal():
+    assert values("t.col") == ["t", ".", "col"]
+
+
+def test_string_literal_with_escaped_quote():
+    token = tokenize("'it''s'")[0]
+    assert token.kind == "STRING"
+    assert token.value == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(ParseError):
+        tokenize("'oops")
+
+
+def test_parameter_token():
+    token = tokenize("@runDate")[0]
+    assert token.kind == "PARAM"
+    assert token.value == "runDate"
+
+
+def test_bare_at_sign_raises():
+    with pytest.raises(ParseError):
+        tokenize("@ x")
+
+
+def test_multichar_operators_maximal_munch():
+    assert values("a <= b <> c >= d") == ["a", "<=", "b", "<>", "c", ">=", "d"]
+
+
+def test_line_comments_skipped():
+    assert values("SELECT -- comment here\n x") == ["SELECT", "x"]
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(ParseError):
+        tokenize("SELECT #")
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("x")
+    assert tokens[-1].kind == "EOF"
+
+
+def test_parse_error_reports_line_and_column():
+    with pytest.raises(ParseError) as excinfo:
+        tokenize("SELECT\n  #")
+    assert "line 2" in str(excinfo.value)

@@ -1,0 +1,138 @@
+"""Unit tests for the query monitor and view statistics."""
+
+import pytest
+
+from repro.catalog import schema_of
+from repro.common.errors import StorageError
+from repro.engine import ScopeEngine
+from repro.engine.monitoring import QueryMonitor, render_plan
+from repro.extensions.view_stats import (
+    compute_view_statistics,
+    render_statistics,
+)
+from repro.optimizer.context import Annotation
+from repro.plan import PlanBuilder, normalize
+from repro.optimizer.rules import apply_rewrites
+from repro.signatures import enumerate_subexpressions
+from repro.sql import parse
+
+
+@pytest.fixture
+def engine():
+    eng = ScopeEngine()
+    eng.register_table(
+        schema_of("T", [("k", "int"), ("v", "float"), ("name", "str")]),
+        [dict(k=i % 5, v=float(i), name=None if i % 7 == 0 else f"n{i % 3}")
+         for i in range(70)])
+    return eng
+
+
+SQL = "SELECT k, SUM(v) AS s FROM T WHERE v > 5 GROUP BY k"
+
+
+def annotate(engine):
+    plan = normalize(apply_rewrites(
+        PlanBuilder(engine.catalog).build(parse(SQL))))
+    subs = enumerate_subexpressions(plan, engine.signature_salt)
+    # Annotate the Filter(Scan) fragment: its view keeps the raw columns,
+    # which the statistics tests inspect.
+    target = min((s for s in subs if s.height >= 1 and s.eligible),
+                 key=lambda s: s.height)
+    engine.insights.publish([Annotation(target.recurring, target.tag)])
+
+
+class TestQueryMonitor:
+    def test_observe_compile_and_run(self, engine):
+        annotate(engine)
+        monitor = QueryMonitor()
+        compiled = engine.compile(SQL)
+        monitor.observe_compile(compiled, at=1.0)
+        run = engine.execute(compiled)
+        monitor.observe_run(run)
+        entry = monitor.job(compiled.job_id)
+        assert entry.views_built == 1
+        assert entry.sealed_views == run.sealed_views
+        assert entry.touched_by_cloudviews
+
+    def test_builder_shows_positive_cost_delta(self, engine):
+        annotate(engine)
+        monitor = QueryMonitor()
+        entry = monitor.observe_compile(engine.compile(SQL))
+        assert entry.cost_delta_percent > 0  # first-hit slowdown
+
+    def test_reuser_shows_negative_cost_delta(self, engine):
+        annotate(engine)
+        monitor = QueryMonitor()
+        engine.run_sql(SQL)
+        entry = monitor.observe_compile(engine.compile(SQL, now=1.0))
+        assert entry.views_reused == 1
+        assert entry.cost_delta_percent < 0
+
+    def test_render_plan_marks_cloudview_sites(self, engine):
+        annotate(engine)
+        builder = engine.compile(SQL)
+        assert "materializes CloudView" in render_plan(builder.plan)
+        engine.execute(builder)
+        reuser = engine.compile(SQL, now=1.0)
+        assert "reused CloudView" in render_plan(reuser.plan)
+
+    def test_summary_lists_all_jobs_in_order(self, engine):
+        monitor = QueryMonitor()
+        a = engine.compile(SQL, reuse_enabled=False)
+        b = engine.compile(SQL, reuse_enabled=False)
+        monitor.observe_compile(b, at=2.0)
+        monitor.observe_compile(a, at=1.0)
+        summary = monitor.render_summary()
+        assert summary.index(a.job_id) < summary.index(b.job_id)
+
+    def test_touched_jobs_filter(self, engine):
+        annotate(engine)
+        monitor = QueryMonitor()
+        monitor.observe_compile(engine.compile(SQL))
+        monitor.observe_compile(engine.compile(SQL, reuse_enabled=False))
+        assert len(monitor.touched_jobs()) == 1
+
+    def test_render_unknown_job(self):
+        assert "no monitored job" in QueryMonitor().render_job("nope")
+
+
+class TestViewStatistics:
+    def _seal_view(self, engine):
+        annotate(engine)
+        run = engine.run_sql(SQL)
+        return run.sealed_views[0]
+
+    def test_statistics_shapes(self, engine):
+        signature = self._seal_view(engine)
+        stats = compute_view_statistics(engine, signature, now=1.0)
+        assert stats.rows > 0
+        view = engine.view_store.lookup(signature, now=1.0)
+        assert set(stats.columns) == set(view.schema)
+
+    def test_numeric_column_statistics(self, engine):
+        signature = self._seal_view(engine)
+        stats = compute_view_statistics(engine, signature, now=1.0)
+        v = stats.columns["v"]
+        assert v.nulls == 0
+        assert v.minimum == 6.0          # filter kept v > 5
+        assert v.mean == pytest.approx(
+            sum(range(6, 70)) / len(range(6, 70)))
+
+    def test_null_accounting(self, engine):
+        signature = self._seal_view(engine)
+        stats = compute_view_statistics(engine, signature, now=1.0)
+        name = stats.columns["name"]
+        assert name.nulls > 0
+        assert 0.0 < name.null_fraction < 1.0
+        assert name.distinct <= 3
+
+    def test_unavailable_view_raises(self, engine):
+        with pytest.raises(StorageError):
+            compute_view_statistics(engine, "missing", now=0.0)
+
+    def test_render_statistics(self, engine):
+        signature = self._seal_view(engine)
+        stats = compute_view_statistics(engine, signature, now=1.0)
+        text = render_statistics(stats)
+        assert "column" in text and "distinct" in text
+        assert signature[:12] in text

@@ -1,0 +1,177 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.plan.expressions import (
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.ast import SubqueryRef, TableRef
+from repro.sql.parser import parse
+
+
+def test_simple_select():
+    query = parse("SELECT a, b FROM t")
+    assert len(query.selects) == 1
+    stmt = query.selects[0]
+    assert isinstance(stmt.relation, TableRef)
+    assert stmt.relation.name == "t"
+    assert [i.expr for i in stmt.items] == [ColumnRef("a"), ColumnRef("b")]
+
+
+def test_select_star():
+    stmt = parse("SELECT * FROM t").selects[0]
+    assert isinstance(stmt.items[0].expr, Star)
+
+
+def test_qualified_star():
+    stmt = parse("SELECT t.* FROM t").selects[0]
+    assert stmt.items[0].expr == Star("t")
+
+
+def test_alias_with_and_without_as():
+    stmt = parse("SELECT a AS x, b y FROM t").selects[0]
+    assert stmt.items[0].alias == "x"
+    assert stmt.items[1].alias == "y"
+
+
+def test_table_alias():
+    stmt = parse("SELECT a FROM t AS u").selects[0]
+    assert stmt.relation.alias == "u"
+    assert stmt.relation.binding_name == "u"
+
+
+def test_where_predicate_structure():
+    stmt = parse("SELECT a FROM t WHERE a = 1 AND b > 2").selects[0]
+    assert isinstance(stmt.where, BinaryOp)
+    assert stmt.where.op == "AND"
+
+
+def test_join_without_on_is_natural():
+    stmt = parse("SELECT a FROM t JOIN u").selects[0]
+    assert len(stmt.joins) == 1
+    assert stmt.joins[0].condition is None
+    assert stmt.joins[0].how == "inner"
+
+
+def test_left_join_with_on():
+    stmt = parse("SELECT a FROM t LEFT JOIN u ON t.k = u.k").selects[0]
+    join = stmt.joins[0]
+    assert join.how == "left"
+    assert isinstance(join.condition, BinaryOp)
+
+
+def test_multiple_joins():
+    stmt = parse("SELECT a FROM t JOIN u JOIN v").selects[0]
+    assert len(stmt.joins) == 2
+
+
+def test_group_by_and_having():
+    stmt = parse(
+        "SELECT k, SUM(v) FROM t GROUP BY k HAVING SUM(v) > 10").selects[0]
+    assert stmt.group_by == (ColumnRef("k"),)
+    assert stmt.having is not None
+
+
+def test_aggregate_distinct():
+    stmt = parse("SELECT COUNT(DISTINCT a) FROM t").selects[0]
+    call = stmt.items[0].expr
+    assert isinstance(call, FuncCall)
+    assert call.distinct
+
+
+def test_count_star():
+    call = parse("SELECT COUNT(*) FROM t").selects[0].items[0].expr
+    assert call == FuncCall("COUNT", ())
+
+
+def test_union_all():
+    query = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+    assert len(query.selects) == 2
+    assert query.union_all
+
+
+def test_union_distinct():
+    query = parse("SELECT a FROM t UNION SELECT a FROM u")
+    assert not query.union_all
+
+
+def test_order_by_and_limit():
+    query = parse("SELECT a, b FROM t ORDER BY a DESC, b LIMIT 5")
+    assert query.limit == 5
+    assert query.order_by[0].ascending is False
+    assert query.order_by[1].ascending is True
+
+
+def test_subquery_in_from():
+    stmt = parse("SELECT x FROM (SELECT a AS x FROM t) AS s").selects[0]
+    assert isinstance(stmt.relation, SubqueryRef)
+    assert stmt.relation.alias == "s"
+
+
+def test_process_clause():
+    stmt = parse(
+        "SELECT a FROM t PROCESS USING MyUdo NONDETERMINISTIC DEPTH 3"
+    ).selects[0]
+    assert stmt.process.udo_name == "MyUdo"
+    assert not stmt.process.deterministic
+    assert stmt.process.dependency_depth == 3
+
+
+def test_parameter_literal():
+    stmt = parse("SELECT a FROM t WHERE d = @runDate").selects[0]
+    rhs = stmt.where.right
+    assert isinstance(rhs, Literal)
+    assert rhs.param_name == "runDate"
+
+
+def test_case_expression():
+    expr = parse(
+        "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t"
+    ).selects[0].items[0].expr
+    assert isinstance(expr, CaseWhen)
+    assert len(expr.conditions) == 1
+
+
+def test_is_null():
+    stmt = parse("SELECT a FROM t WHERE a IS NULL").selects[0]
+    assert stmt.where == UnaryOp("ISNULL", ColumnRef("a"))
+
+
+def test_is_not_null():
+    stmt = parse("SELECT a FROM t WHERE a IS NOT NULL").selects[0]
+    assert stmt.where == UnaryOp("ISNOTNULL", ColumnRef("a"))
+
+
+def test_operator_precedence():
+    expr = parse("SELECT a FROM t WHERE a + b * 2 = 7").selects[0].where
+    # * binds tighter than +
+    assert expr.op == "="
+    assert expr.left.op == "+"
+    assert expr.left.right.op == "*"
+
+
+def test_unary_minus():
+    expr = parse("SELECT -a FROM t").selects[0].items[0].expr
+    assert expr == UnaryOp("-", ColumnRef("a"))
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT a FROM t extra nonsense !!!")
+
+
+def test_missing_from_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT a")
+
+
+def test_empty_case_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT CASE END FROM t")

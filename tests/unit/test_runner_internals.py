@@ -1,0 +1,147 @@
+"""Unit tests for the co-simulation runner's internals."""
+
+import pytest
+
+from repro.catalog import schema_of
+from repro.cluster import JobTelemetry
+from repro.core import SimulationConfig, SimulationReport, record_job_into
+from repro.engine import ScopeEngine
+from repro.plan import Spool, ViewScan
+from repro.workload import WorkloadRepository
+
+
+@pytest.fixture
+def engine():
+    eng = ScopeEngine()
+    eng.register_table(
+        schema_of("T", [("k", "int"), ("v", "float")]),
+        [dict(k=i % 4, v=float(i)) for i in range(40)])
+    eng.register_table(
+        schema_of("D", [("k", "int"), ("n", "str")]),
+        [dict(k=i, n=f"x{i}") for i in range(4)])
+    return eng
+
+
+SQL = "SELECT n, SUM(v) AS s FROM T JOIN D GROUP BY n"
+
+
+def record(engine, run, repository=None, full_work=None, now=0.0):
+    repository = repository if repository is not None else WorkloadRepository()
+    record_job_into(repository, run, now,
+                    virtual_cluster="vc1", template_id="t1",
+                    pipeline_id="p1", salt=engine.signature_salt,
+                    full_work=full_work)
+    return repository
+
+
+class TestRecordJobInto:
+    def test_tree_structure_recorded(self, engine):
+        run = engine.run_sql(SQL, reuse_enabled=False)
+        repository = record(engine, run)
+        records = repository.subexpressions
+        roots = [r for r in records if r.parent_node_id is None]
+        assert len(roots) == 1
+        by_node = {r.node_id: r for r in records}
+        for r in records:
+            if r.parent_node_id is not None:
+                assert r.parent_node_id in by_node
+
+    def test_work_is_monotone_up_the_tree(self, engine):
+        run = engine.run_sql(SQL, reuse_enabled=False)
+        records = record(engine, run).subexpressions
+        by_node = {r.node_id: r for r in records}
+        for r in records:
+            if r.parent_node_id is not None:
+                assert by_node[r.parent_node_id].work >= r.work
+
+    def test_input_datasets_collected(self, engine):
+        run = engine.run_sql(SQL, reuse_enabled=False)
+        repository = record(engine, run)
+        assert repository.jobs[0].input_datasets == ("D", "T")
+        root = next(r for r in repository.subexpressions
+                    if r.parent_node_id is None)
+        assert root.input_datasets == ("D", "T")
+
+    def test_spool_is_transparent_in_records(self, engine):
+        from repro.optimizer.context import Annotation
+        from repro.plan import PlanBuilder, normalize
+        from repro.optimizer.rules import apply_rewrites
+        from repro.signatures import enumerate_subexpressions
+        from repro.sql import parse
+
+        plan = normalize(apply_rewrites(
+            PlanBuilder(engine.catalog).build(parse(SQL))))
+        subs = enumerate_subexpressions(plan, engine.signature_salt)
+        join = max((s for s in subs if s.operator == "Join"),
+                   key=lambda s: s.height)
+        engine.insights.publish([Annotation(join.recurring, join.tag)])
+        run = engine.run_sql(SQL)
+        assert any(isinstance(n, Spool) for n in run.compiled.plan.walk())
+        records = record(engine, run).subexpressions
+        assert not any(r.operator == "Spool" for r in records)
+
+    def test_viewscan_inherits_full_work(self, engine):
+        from repro.optimizer.context import Annotation
+        from repro.plan import PlanBuilder, normalize
+        from repro.optimizer.rules import apply_rewrites
+        from repro.signatures import enumerate_subexpressions
+        from repro.sql import parse
+
+        plan = normalize(apply_rewrites(
+            PlanBuilder(engine.catalog).build(parse(SQL))))
+        subs = enumerate_subexpressions(plan, engine.signature_salt)
+        join = max((s for s in subs if s.operator == "Join"),
+                   key=lambda s: s.height)
+        engine.insights.publish([Annotation(join.recurring, join.tag)])
+
+        full_work = {}
+        repository = WorkloadRepository()
+        producer = engine.run_sql(SQL)
+        record(engine, producer, repository, full_work)
+        reuser = engine.run_sql(SQL, now=1.0)
+        assert any(isinstance(n, ViewScan) for n in reuser.compiled.plan.walk())
+        record(engine, reuser, repository, full_work, now=1.0)
+
+        occurrences = repository.occurrences(join.recurring)
+        assert len(occurrences) == 2
+        producer_work = occurrences[0].work
+        reuser_work = occurrences[1].work
+        # The reusing instance records the compute the view STANDS FOR,
+        # not the trivial cost of scanning it.
+        assert reuser_work == pytest.approx(producer_work, rel=0.5)
+        assert reuser_work > 0
+
+    def test_join_algorithm_detail_recorded(self, engine):
+        run = engine.run_sql(SQL, reuse_enabled=False)
+        records = record(engine, run).subexpressions
+        join = next(r for r in records if r.operator == "Join")
+        assert join.detail in ("hash", "merge", "loop")
+
+
+class TestSimulationReport:
+    def make_report(self):
+        telemetry = []
+        for day in range(3):
+            for i in range(2):
+                t = JobTelemetry(job_id=f"d{day}j{i}", virtual_cluster="vc",
+                                 submit_time=day * 86400.0 + i)
+                t.processing_time = 10.0 * (day + 1)
+                telemetry.append(t)
+        return SimulationReport(
+            config=SimulationConfig(days=3),
+            telemetry=telemetry,
+            repository=WorkloadRepository(),
+            views_created=5, views_reused=20)
+
+    def test_total(self):
+        report = self.make_report()
+        assert report.total("processing_time") == 2 * (10 + 20 + 30)
+
+    def test_daily_buckets(self):
+        report = self.make_report()
+        assert report.daily("processing_time") == {0: 20.0, 1: 40.0, 2: 60.0}
+
+    def test_cumulative_daily(self):
+        report = self.make_report()
+        assert report.cumulative_daily("processing_time") == [
+            (0, 20.0), (1, 60.0), (2, 120.0)]

@@ -1,0 +1,107 @@
+"""Unit tests for the telemetry comparison harness."""
+
+import pytest
+
+from repro.cluster import JobTelemetry
+from repro.telemetry import (
+    compare_telemetry,
+    evaluate_against_baseline,
+    percentile,
+    percentile_baseline,
+)
+
+
+def job(job_id, latency=100.0, processing=500.0, vc="vc1", submit=0.0,
+        containers=10, input_bytes=1000, queue=0):
+    t = JobTelemetry(job_id=job_id, virtual_cluster=vc, submit_time=submit)
+    t.start_time = submit
+    t.finish_time = submit + latency
+    t.processing_time = processing
+    t.bonus_processing_time = processing * 0.3
+    t.containers = containers
+    t.input_bytes = input_bytes
+    t.data_read_bytes = input_bytes * 2
+    t.queue_length_at_submit = queue
+    return t
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_p75(self):
+        assert percentile([0, 10, 20, 30, 40], 75) == 30
+
+    def test_extremes(self):
+        assert percentile([5, 1, 9], 0) == 1
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_singleton(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestCompareTelemetry:
+    def test_cumulative_improvements(self):
+        baseline = [job("b1", latency=100), job("b2", latency=100)]
+        enabled = [job("c1", latency=60), job("c2", latency=80)]
+        report = compare_telemetry(baseline, enabled)
+        assert report.improvement_percent("latency") == pytest.approx(30.0)
+
+    def test_median_matches_by_vc_and_time(self):
+        baseline = [job("b1", latency=100, submit=10.0),
+                    job("b2", latency=200, submit=20.0)]
+        enabled = [job("c1", latency=50, submit=10.0),
+                   job("c2", latency=100, submit=20.0)]
+        report = compare_telemetry(baseline, enabled)
+        assert report.median_latency_improvement == pytest.approx(0.5)
+
+    def test_zero_baseline_reports_zero(self):
+        report = compare_telemetry([], [])
+        assert report.improvement_percent("latency") == 0.0
+
+    def test_rows_in_table1_order(self):
+        report = compare_telemetry([job("b")], [job("c")])
+        labels = [label for label, _ in report.rows()]
+        assert labels[0] == "Latency Improvement"
+        assert labels[-1] == "Queuing Length Improvement"
+        assert len(labels) == 7
+
+    def test_regression_shows_negative(self):
+        report = compare_telemetry([job("b", latency=50)],
+                                   [job("c", latency=100)])
+        assert report.improvement_percent("latency") == pytest.approx(-100.0)
+
+
+class TestPercentileBaseline:
+    def test_baseline_from_history_and_evaluation(self):
+        history = [job(f"h{i}", latency=100.0 + i * 10) for i in range(8)]
+        template_of = {f"h{i}": "tmplA" for i in range(8)}
+        baseline = percentile_baseline(history, template_of,
+                                       metric="latency", pct=75.0)
+        assert baseline.thresholds["tmplA"] == pytest.approx(
+            percentile([100 + i * 10 for i in range(8)], 75))
+
+        enabled = [job("e1", latency=80.0), job("e2", latency=120.0)]
+        template_of.update({"e1": "tmplA", "e2": "tmplA"})
+        result = evaluate_against_baseline(baseline, enabled, template_of)
+        assert result["jobs"] == 2
+        assert result["median"] > 0  # most new instances beat the p75
+
+    def test_jobs_without_template_ignored(self):
+        baseline = percentile_baseline([job("h1")], {"h1": "tmplA"})
+        result = evaluate_against_baseline(
+            baseline, [job("e1")], {})
+        assert result["jobs"] == 0
+
+    def test_unknown_template_ignored(self):
+        baseline = percentile_baseline([job("h1")], {"h1": "tmplA"})
+        result = evaluate_against_baseline(
+            baseline, [job("e1")], {"e1": "tmplB"})
+        assert result["jobs"] == 0
