@@ -10,7 +10,10 @@ Commands:
 * ``analyze``   -- load one or more captures and print workload insights
   (Figure 3 statistics, reuse candidates, join-set opportunities);
 * ``explain``   -- compile a query against the demo catalog and print its
-  optimized plan.
+  optimized plan;
+* ``obs``       -- inspect a flight-recorder capture (``obs metrics``,
+  ``obs trace <job_id>``, ``obs events --since <day>``) written by
+  ``simulate --obs-dir``.
 """
 
 from __future__ import annotations
@@ -21,6 +24,13 @@ from typing import List, Optional
 
 from repro.core.runner import SimulationConfig, WorkloadSimulation
 from repro.engine.engine import ScopeEngine
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    load_capture,
+    render_events,
+    render_flamegraph,
+)
 from repro.selection.policies import SelectionPolicy
 from repro.telemetry.comparison import compare_telemetry
 from repro.workload.generator import generate_workload
@@ -43,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--templates-per-vc", type=int, default=16)
     simulate.add_argument("--selection", default="bigsubs",
                           choices=["greedy", "per_vc", "bigsubs"])
+    simulate.add_argument("--obs-dir", default=None, metavar="DIR",
+                          help="write the flight-recorder capture "
+                               "(metrics.json, spans.jsonl, events.jsonl) "
+                               "to DIR")
 
     tpcds = sub.add_parser(
         "tpcds", help="SparkCruise on mini TPC-DS (Section 5.5)")
@@ -65,6 +79,33 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("sql")
     explain.add_argument("--run-date", default="d0000")
 
+    obs = sub.add_parser(
+        "obs", help="inspect a flight-recorder capture")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="render the metrics dump (counters/gauges/"
+                        "histograms with p50/p95/p99)")
+    obs_metrics.add_argument("--capture", default="obs-capture",
+                             help="capture directory (default: obs-capture)")
+
+    obs_trace = obs_sub.add_parser(
+        "trace", help="render one job's span tree as a text flamegraph")
+    obs_trace.add_argument("job_id")
+    obs_trace.add_argument("--capture", default="obs-capture")
+
+    obs_events = obs_sub.add_parser(
+        "events", help="print the structured event log")
+    obs_events.add_argument("--capture", default="obs-capture")
+    obs_events.add_argument("--since", type=int, default=None,
+                            metavar="DAY",
+                            help="only events at or after simulated "
+                                 "midnight of DAY")
+    obs_events.add_argument("--kind", default=None,
+                            help="filter to one event kind "
+                                 "(e.g. view.sealed)")
+    obs_events.add_argument("--limit", type=int, default=200)
+
     return parser
 
 
@@ -76,8 +117,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "capture": _cmd_capture,
         "analyze": _cmd_analyze,
         "explain": _cmd_explain,
+        "obs": _cmd_obs,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.stderr.close()
+        return 0
 
 
 # --------------------------------------------------------------------- #
@@ -92,12 +139,20 @@ def _workload(args):
 
 def _cmd_simulate(args) -> int:
     reports = {}
+    recorder = FlightRecorder()
+    simulations = {}
     for enabled in (True, False):
         label = "cloudviews" if enabled else "baseline"
         print(f"simulating {args.days} days ({label}) ...")
         config = SimulationConfig(days=args.days, cloudviews_enabled=enabled,
                                   selection_algorithm=args.selection)
-        reports[label] = WorkloadSimulation(_workload(args), config).run()
+        # The flight recorder rides on the CloudViews-enabled run; the
+        # baseline stays uninstrumented, as in the paper's A/B harness.
+        simulation = WorkloadSimulation(
+            _workload(args), config,
+            recorder=recorder if enabled else None)
+        simulations[label] = simulation
+        reports[label] = simulation.run()
     enabled, baseline = reports["cloudviews"], reports["baseline"]
     comparison = compare_telemetry(baseline.telemetry, enabled.telemetry)
     summary = pipeline_summary(enabled.repository)
@@ -107,6 +162,49 @@ def _cmd_simulate(args) -> int:
     print(f"{'Views Used':<42}{enabled.views_reused:>12,}")
     for label, value in comparison.rows():
         print(f"{label:<42}{value:>11.2f}%")
+
+    usage = simulations["cloudviews"].engine.insights.metrics
+    lookups = usage.cache_hits + usage.cache_misses
+    hit_ratio = usage.cache_hits / max(1, lookups)
+    print("\nInsights service usage")
+    print(f"{'Annotation Fetches':<42}{usage.fetches:>12,}")
+    print(f"{'Serving-Cache Hit Ratio':<42}{hit_ratio:>11.1%}")
+    print(f"{'Annotations Served':<42}{usage.annotations_served:>12,}")
+    print(f"{'View Locks Acquired':<42}{usage.locks_acquired:>12,}")
+    print(f"{'View Lock Denials':<42}{usage.locks_denied:>12,}")
+    print(f"{'Views Early-Sealed':<42}"
+          f"{usage.views_reported_available:>12,}")
+
+    print()
+    print(recorder.render_summary())
+    if args.obs_dir:
+        paths = recorder.dump(args.obs_dir)
+        print(f"flight-recorder capture -> {args.obs_dir} "
+              f"({', '.join(sorted(paths))})")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    capture = load_capture(args.capture)
+    if not capture:
+        print(f"no flight-recorder capture found in {args.capture!r} "
+              "(run `repro simulate --obs-dir <dir>` first)")
+        return 1
+    if args.obs_command == "metrics":
+        print(MetricsRegistry.render_dict(capture.get("metrics", {})))
+    elif args.obs_command == "trace":
+        spans = [s for s in capture.get("spans", [])
+                 if s.trace_id == args.job_id]
+        print(render_flamegraph(spans, args.job_id))
+        if not spans:
+            return 1
+    elif args.obs_command == "events":
+        events = capture.get("events", [])
+        if args.since is not None:
+            events = [e for e in events if e.at >= args.since * 86400.0]
+        if args.kind is not None:
+            events = [e for e in events if e.kind == args.kind]
+        print(render_events(events, limit=args.limit))
     return 0
 
 

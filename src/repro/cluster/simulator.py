@@ -29,6 +29,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.stages import Stage, StageGraph
 from repro.common.errors import SchedulingError
+from repro.obs import events as obs_events
+from repro.obs.recorder import NULL_RECORDER
 
 #: Work units one container completes per simulated second.
 DEFAULT_WORK_RATE = 500.0
@@ -99,7 +101,8 @@ class ClusterSimulator:
                  work_rate: float = DEFAULT_WORK_RATE,
                  container_startup: float = DEFAULT_CONTAINER_STARTUP,
                  vc_job_slots: int = 8,
-                 job_overhead_seconds: float = 0.0):
+                 job_overhead_seconds: float = 0.0,
+                 recorder=NULL_RECORDER):
         if total_containers <= 0:
             raise SchedulingError("cluster needs at least one container")
         self.total_containers = total_containers
@@ -126,6 +129,8 @@ class ClusterSimulator:
         self._jobs: Dict[str, _JobState] = {}
         self.completed: List[JobTelemetry] = []
         self.now = 0.0
+        #: Flight recorder; the simulator drives its simulated clock.
+        self.recorder = recorder
 
     # ------------------------------------------------------------------ #
     # submission
@@ -151,6 +156,7 @@ class ClusterSimulator:
         while self._events:
             time, kind, _, payload = heapq.heappop(self._events)
             self.now = max(self.now, time)
+            self.recorder.advance_to(self.now)
             if kind == _ARRIVAL:
                 self._handle_arrival(payload)
             else:
@@ -179,6 +185,11 @@ class ClusterSimulator:
             views_reused=job.views_reused,
         )
         state = _JobState(job=job, telemetry=telemetry)
+        state.span = self.recorder.start_span(
+            "cluster.schedule", trace_id=job.job_id, at=self.now,
+            virtual_cluster=vc, stages=len(job.graph.stages))
+        self.recorder.observe("cluster.queue_length_at_submit",
+                              len(admit_queue))
         for stage in job.graph.stages:
             state.remaining_deps[stage.stage_id] = len(stage.dependencies)
         self._jobs[job.job_id] = state
@@ -243,6 +254,28 @@ class ClusterSimulator:
             telemetry.start_time = self.now
             state.started = True
         self.completed.append(telemetry)
+        state.span.annotate("containers", telemetry.containers)
+        state.span.annotate("processing_time", telemetry.processing_time)
+        state.span.finish(at=self.now)
+        self.recorder.inc("cluster.jobs.completed")
+        self.recorder.observe("cluster.job.latency", telemetry.latency)
+        self.recorder.observe("cluster.job.queue_wait", telemetry.queue_wait)
+        self.recorder.event(
+            obs_events.JOB_FINISHED, at=self.now, job_id=telemetry.job_id,
+            virtual_cluster=telemetry.virtual_cluster,
+            submit_time=telemetry.submit_time,
+            start_time=telemetry.start_time,
+            finish_time=telemetry.finish_time,
+            processing_time=telemetry.processing_time,
+            bonus_processing_time=telemetry.bonus_processing_time,
+            containers=telemetry.containers,
+            input_rows=telemetry.input_rows,
+            input_bytes=telemetry.input_bytes,
+            data_read_bytes=telemetry.data_read_bytes,
+            queue_length_at_submit=telemetry.queue_length_at_submit,
+            views_built=telemetry.views_built,
+            views_reused=telemetry.views_reused,
+        )
         del self._jobs[state.job.job_id]
         # Release the VC slot and admit the next queued job, if any.
         vc = state.job.virtual_cluster
@@ -310,3 +343,5 @@ class _JobState:
     completed: set = field(default_factory=set)
     started: bool = False
     admitted: bool = False
+    #: The job's ``cluster.schedule`` span (a null span when unrecorded).
+    span: object = None

@@ -35,6 +35,8 @@ from repro.cluster.stages import (
 )
 from repro.common.clock import SECONDS_PER_DAY
 from repro.core.controls import MultiLevelControls
+from repro.obs import events as obs_events
+from repro.obs.recorder import NULL_RECORDER
 from repro.engine.engine import JobRun, ScopeEngine
 from repro.optimizer.stats import CardinalityEstimator
 from repro.executor.executor import choose_join_algorithm
@@ -57,9 +59,12 @@ from repro.workload.repository import (
 )
 
 _SELECTORS = {
-    "greedy": lambda repo, candidates, policy: greedy_select(candidates, policy),
-    "per_vc": lambda repo, candidates, policy: per_vc_select(candidates, policy),
-    "bigsubs": bigsubs_select,
+    "greedy": lambda repo, candidates, policy, recorder:
+        greedy_select(candidates, policy, recorder=recorder),
+    "per_vc": lambda repo, candidates, policy, recorder:
+        per_vc_select(candidates, policy, recorder=recorder),
+    "bigsubs": lambda repo, candidates, policy, recorder:
+        bigsubs_select(repo, candidates, policy, recorder=recorder),
 }
 
 
@@ -129,11 +134,19 @@ class WorkloadSimulation:
                  engine: Optional[ScopeEngine] = None,
                  controls: Optional[MultiLevelControls] = None,
                  on_day_boundary=None,
-                 monitor=None):
+                 monitor=None,
+                 recorder=None):
         self.workload = workload
         self.config = config
         self.engine = engine or ScopeEngine()
         self.controls = controls
+        #: Flight recorder for the whole feedback loop.  Installing it
+        #: here wires the engine, insights service, and view store; the
+        #: cluster simulator drives its simulated clock.  ``None`` keeps
+        #: the zero-overhead :data:`~repro.obs.recorder.NULL_RECORDER`.
+        self.recorder = recorder or NULL_RECORDER
+        if recorder is not None:
+            recorder.install(self.engine)
         #: Optional hook called as ``on_day_boundary(day, simulation)`` at
         #: each simulated midnight, after cooking/eviction and before
         #: reselection -- used for deployment scenarios such as the
@@ -163,6 +176,7 @@ class WorkloadSimulation:
             container_startup=self.config.container_startup,
             vc_job_slots=self.config.vc_job_slots,
             job_overhead_seconds=self.config.job_overhead_seconds,
+            recorder=self.recorder,
         )
         for day in range(self.config.days):
             if day > 0:
@@ -201,13 +215,31 @@ class WorkloadSimulation:
         return None
 
     def _reselect(self, now: float) -> None:
+        epoch_id = f"epoch-{len(self.selections) + 1}"
+        epoch_span = self.recorder.start_span(
+            "selection.epoch", trace_id=epoch_id, at=now,
+            algorithm=self.config.selection_algorithm)
         window_start = now - self.config.selection_window_days * SECONDS_PER_DAY
         window = self.repository.window(window_start, now)
         candidates = build_candidates(window)
         selector = _SELECTORS[self.config.selection_algorithm]
-        result = selector(window, candidates, self.config.policy)
-        self.engine.insights.publish(result.annotations())
+        result = selector(window, candidates, self.config.policy,
+                          self.recorder)
+        published = self.engine.insights.publish(result.annotations())
         self.selections.append(result)
+        epoch_span.annotate("selected", len(result.selected))
+        epoch_span.annotate("published", published)
+        epoch_span.finish(at=now)
+        self.recorder.event(
+            obs_events.SELECTION_EPOCH, at=now, job_id=epoch_id,
+            algorithm=self.config.selection_algorithm,
+            considered=result.considered,
+            selected=len(result.selected),
+            rejected_by_budget=result.rejected_by_budget,
+            rejected_by_schedule=result.rejected_by_schedule,
+            storage_used=result.storage_used,
+            published=published,
+        )
 
     # ------------------------------------------------------------------ #
     # per-job launch (compile at arrival time)
@@ -227,7 +259,10 @@ class WorkloadSimulation:
             now=now,
         )
         run = self.engine.execute(compiled, now=now, seal_views=False)
-        if self.monitor is not None:
+        if self.monitor is not None \
+                and not getattr(self.monitor, "event_driven", False):
+            # Event-driven monitors already saw the job.compiled and
+            # view.sealed events through the flight recorder's log.
             self.monitor.observe_compile(compiled, at=now)
             self.monitor.observe_run(run)
         self._record(template, compiled.job_id, now, run)

@@ -29,6 +29,8 @@ from repro.common.errors import ReproError
 from repro.executor.executor import ExecutionResult, Executor
 from repro.executor.udo import UdoRegistry, default_registry
 from repro.insights.service import InsightsService
+from repro.obs import events as obs_events
+from repro.obs.recorder import NULL_RECORDER
 from repro.optimizer.context import OptimizerContext
 from repro.optimizer.cost import CostModel
 from repro.optimizer.pipeline import OptimizedPlan, optimize
@@ -72,6 +74,9 @@ class CompiledJob:
     reuse_enabled: bool = True
     compile_latency: float = 0.0
     runtime_version: str = ""
+    #: Simulated time the job was compiled (its arrival time in the
+    #: co-simulation); monitoring orders jobs by it.
+    submitted_at: float = 0.0
 
     @property
     def plan(self) -> LogicalPlan:
@@ -107,7 +112,8 @@ class ScopeEngine:
                  store: Optional[DataStore] = None,
                  insights: Optional[InsightsService] = None,
                  config: Optional[EngineConfig] = None,
-                 udos: Optional[UdoRegistry] = None):
+                 udos: Optional[UdoRegistry] = None,
+                 recorder=None):
         self.catalog = catalog or Catalog()
         self.store = store or DataStore()
         self.insights = insights or InsightsService()
@@ -116,6 +122,11 @@ class ScopeEngine:
         self.history = StatisticsCatalog()
         self.executor = Executor(self.store, udos or default_registry())
         self._job_counter = itertools.count(1)
+        #: Flight recorder; installing one here also wires the insights
+        #: service and view store so the whole feedback loop is recorded.
+        self.recorder = NULL_RECORDER
+        if recorder is not None:
+            recorder.install(self)
 
     # ------------------------------------------------------------------ #
     # data management
@@ -171,6 +182,11 @@ class ScopeEngine:
                 job_id: Optional[str] = None) -> CompiledJob:
         """Parse, bind, and optimize one job (Figure 5, query processing)."""
         job_id = job_id or f"job-{next(self._job_counter)}"
+        recorder = self.recorder
+        recorder.advance_to(now)
+        compile_span = recorder.start_span(
+            "job.compile", trace_id=job_id, at=now,
+            virtual_cluster=virtual_cluster)
         builder = PlanBuilder(self.catalog, params)
         plan = normalize(apply_rewrites(builder.build(parse(sql))))
 
@@ -182,8 +198,13 @@ class ScopeEngine:
         annotations = {}
         compile_latency = 0.0
         if reuse_enabled:
+            fetch_span = recorder.start_span(
+                "insights.fetch", trace_id=job_id, at=now,
+                parent=compile_span, tags=len(tags))
             annotations = self.insights.fetch_annotations(tags)
             compile_latency = self.insights.last_fetch_latency
+            fetch_span.annotate("annotations", len(annotations))
+            fetch_span.finish(at=now + compile_latency)
 
         ctx = OptimizerContext(
             catalog=self.catalog,
@@ -198,8 +219,28 @@ class ScopeEngine:
             overestimate=self.config.overestimate,
             acquire_view_lock=lambda sig: self.insights.acquire_view_lock(
                 sig, holder=job_id),
+            recorder=recorder,
+            trace_id=job_id,
+            compile_span=compile_span,
         )
         optimized = optimize(plan, ctx, now=now)
+        compile_span.annotate("views_reused", optimized.reused_views)
+        compile_span.annotate("views_built", optimized.built_views)
+        compile_span.finish(at=now + compile_latency)
+        recorder.inc("engine.jobs.compiled")
+        if recorder.enabled:
+            from repro.engine.monitoring import render_plan
+            recorder.event(
+                obs_events.JOB_COMPILED, at=now, job_id=job_id,
+                virtual_cluster=virtual_cluster,
+                sql=sql,
+                views_built=optimized.built_views,
+                views_reused=optimized.reused_views,
+                estimated_cost=optimized.estimated_cost,
+                estimated_cost_without_reuse=(
+                    optimized.estimated_cost_without_reuse),
+                plan_text=render_plan(optimized.plan),
+            )
         return CompiledJob(
             job_id=job_id,
             sql=sql,
@@ -210,6 +251,7 @@ class ScopeEngine:
             reuse_enabled=reuse_enabled,
             compile_latency=compile_latency,
             runtime_version=self.runtime_version,
+            submitted_at=now,
         )
 
     # ------------------------------------------------------------------ #
@@ -240,11 +282,16 @@ class ScopeEngine:
     def seal_spooled(self, run: JobRun, signature: str, at: float) -> None:
         """Early-seal one view produced by ``run`` at simulated time ``at``."""
         spool = next(s for s in run.result.spooled if s.signature == signature)
+        seal_span = self.recorder.start_span(
+            "spool.seal", trace_id=run.compiled.job_id, at=at,
+            signature=spool.signature[:12])
         self.view_store.seal(spool.signature, at,
-                             spool.row_count, spool.size_bytes)
+                             spool.row_count, spool.size_bytes,
+                             sealed_by=run.compiled.job_id)
         self.insights.report_view_available(
             spool.signature, holder=run.compiled.job_id)
         run.sealed_views.append(spool.signature)
+        seal_span.annotate("rows", spool.row_count).finish(at=at)
 
     def run_sql(self, sql: str,
                 params: Optional[Dict[str, object]] = None,

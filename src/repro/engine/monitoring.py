@@ -9,14 +9,24 @@ into what reuse did to their jobs.
 :class:`QueryMonitor` collects one :class:`MonitoredJob` per compiled job
 and renders the operator-facing report: which jobs built or reused views,
 the estimated cost delta, and the rewritten plan with CloudView markers.
+
+The monitor is a *consumer of the flight recorder's structured event
+log*: attach it to an :class:`~repro.obs.events.EventLog` and it builds
+its state from ``job.compiled`` and ``view.sealed`` events — exactly the
+Figure-5 arrangement where the monitoring tool reads the telemetry stream
+rather than hooking the compiler.  The direct ``observe_*`` calls remain
+for embedding the monitor without a recorder.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.engine.engine import CompiledJob, JobRun
+from repro.obs import events as obs_events
+from repro.obs.events import Event, EventLog
 from repro.plan.logical import LogicalPlan, Spool, ViewScan
 
 
@@ -49,21 +59,44 @@ class MonitoredJob:
 
 
 class QueryMonitor:
-    """Collects and renders per-job reuse telemetry."""
+    """Collects and renders per-job reuse telemetry.
 
-    def __init__(self) -> None:
+    Pass ``events`` (a flight recorder's event log) to make the monitor
+    event-driven: it subscribes and ingests ``job.compiled`` /
+    ``view.sealed`` events as they are emitted, and the driver no longer
+    needs to call :meth:`observe_compile` / :meth:`observe_run`.
+    """
+
+    def __init__(self, events: Optional[EventLog] = None) -> None:
         self._jobs: Dict[str, MonitoredJob] = {}
+        self._arrival = itertools.count()  # ties broken by arrival order
+        self._order: Dict[str, int] = {}
+        self._events = events
+        if events is not None:
+            events.subscribe(self.ingest_event)
+
+    @property
+    def event_driven(self) -> bool:
+        """True when fed by a structured event log subscription."""
+        return self._events is not None
 
     # ------------------------------------------------------------------ #
     # ingestion
 
     def observe_compile(self, compiled: CompiledJob,
-                        at: float = 0.0) -> MonitoredJob:
-        entry = MonitoredJob(
+                        at: Optional[float] = None) -> MonitoredJob:
+        """Record one compiled job.
+
+        ``at`` defaults to the job's simulated arrival time (carried on
+        :class:`~repro.engine.engine.CompiledJob`), so :meth:`jobs`
+        ordering reflects the submission timeline without every caller
+        having to thread the timestamp through.
+        """
+        return self._ingest_compiled(
             job_id=compiled.job_id,
             virtual_cluster=compiled.virtual_cluster,
             sql=compiled.sql,
-            submitted_at=at,
+            submitted_at=compiled.submitted_at if at is None else at,
             views_built=compiled.built_views,
             views_reused=compiled.reused_views,
             estimated_cost=compiled.optimized.estimated_cost,
@@ -71,13 +104,39 @@ class QueryMonitor:
                 compiled.optimized.estimated_cost_without_reuse),
             plan_text=render_plan(compiled.plan),
         )
-        self._jobs[compiled.job_id] = entry
-        return entry
 
     def observe_run(self, run: JobRun) -> None:
         entry = self._jobs.get(run.compiled.job_id)
         if entry is not None:
             entry.sealed_views = list(run.sealed_views)
+
+    def ingest_event(self, event: Event) -> None:
+        """Consume one structured event from the flight recorder."""
+        if event.kind == obs_events.JOB_COMPILED:
+            attrs = event.attrs
+            self._ingest_compiled(
+                job_id=event.job_id,
+                virtual_cluster=str(attrs.get("virtual_cluster", "")),
+                sql=str(attrs.get("sql", "")),
+                submitted_at=event.at,
+                views_built=int(attrs.get("views_built", 0)),
+                views_reused=int(attrs.get("views_reused", 0)),
+                estimated_cost=float(attrs.get("estimated_cost", 0.0)),
+                estimated_cost_without_reuse=float(
+                    attrs.get("estimated_cost_without_reuse", 0.0)),
+                plan_text=str(attrs.get("plan_text", "")),
+            )
+        elif event.kind == obs_events.VIEW_SEALED and event.job_id:
+            entry = self._jobs.get(event.job_id)
+            if entry is not None:
+                entry.sealed_views.append(str(event.attrs.get("signature", "")))
+
+    def _ingest_compiled(self, job_id: str, **fields) -> MonitoredJob:
+        entry = MonitoredJob(job_id=job_id, **fields)
+        if job_id not in self._order:
+            self._order[job_id] = next(self._arrival)
+        self._jobs[job_id] = entry
+        return entry
 
     # ------------------------------------------------------------------ #
     # queries
@@ -86,7 +145,8 @@ class QueryMonitor:
         return self._jobs.get(job_id)
 
     def jobs(self) -> List[MonitoredJob]:
-        return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+        return sorted(self._jobs.values(),
+                      key=lambda j: (j.submitted_at, self._order[j.job_id]))
 
     def touched_jobs(self) -> List[MonitoredJob]:
         return [j for j in self.jobs() if j.touched_by_cloudviews]

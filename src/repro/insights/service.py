@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.common.errors import InsightsError
+from repro.obs import events as obs_events
+from repro.obs.recorder import NULL_RECORDER
 from repro.optimizer.context import Annotation
 
 #: Simulated round-trip to the serving layer, in seconds (~15 ms).
@@ -32,10 +34,16 @@ CACHED_ROUND_TRIP_SECONDS = 0.0015
 
 @dataclass
 class UsageMetrics:
-    """Operational counters surfaced to the service owners."""
+    """Operational counters surfaced to the service owners.
+
+    ``fetches`` counts per-job annotation requests; ``cache_hits`` /
+    ``cache_misses`` count per-tag lookups inside those requests (one
+    fetch touches one serving-layer entry per tag).
+    """
 
     fetches: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     annotations_served: int = 0
     locks_acquired: int = 0
     locks_denied: int = 0
@@ -46,14 +54,29 @@ class UsageMetrics:
 class InsightsService:
     """Annotation index plus the exclusive view-creation lock table."""
 
-    def __init__(self) -> None:
-        self.enabled = True
+    def __init__(self, recorder=NULL_RECORDER) -> None:
+        self._enabled = True
         self._by_tag: Dict[str, List[Annotation]] = {}
         self._by_recurring: Dict[str, Annotation] = {}
         self._locks: Dict[str, str] = {}  # strict signature -> holder job id
         self._cache: Set[str] = set()
         self.metrics = UsageMetrics()
         self.last_fetch_latency = 0.0
+        #: Flight recorder (no-op unless a real one is installed).
+        self.recorder = recorder
+
+    @property
+    def enabled(self) -> bool:
+        """The uber kill switch (Section 4, "Multi-level control")."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._enabled:
+            self.recorder.event(obs_events.KILL_SWITCH_FLIPPED,
+                                level="insights-service", enabled=value)
+        self._enabled = value
 
     # ------------------------------------------------------------------ #
     # publication (from workload analysis)
@@ -88,6 +111,7 @@ class InsightsService:
         which disables both matching and buildout downstream.
         """
         self.metrics.fetches += 1
+        self.recorder.inc("insights.fetches")
         if not self.enabled:
             self.last_fetch_latency = 0.0
             return {}
@@ -97,13 +121,18 @@ class InsightsService:
             if tag in self._cache:
                 latency += CACHED_ROUND_TRIP_SECONDS
                 self.metrics.cache_hits += 1
+                self.recorder.inc("insights.cache_hits")
             else:
                 latency += ROUND_TRIP_SECONDS
                 self._cache.add(tag)
+                self.metrics.cache_misses += 1
+                self.recorder.inc("insights.cache_misses")
             for annotation in self._by_tag.get(tag, ()):
                 result[annotation.recurring_signature] = annotation
         self.last_fetch_latency = latency
         self.metrics.annotations_served += len(result)
+        self.recorder.observe("insights.fetch.latency", latency)
+        self.recorder.inc("insights.annotations_served", len(result))
         return result
 
     # ------------------------------------------------------------------ #
@@ -116,9 +145,14 @@ class InsightsService:
         current = self._locks.get(strict_signature)
         if current is not None and current != holder:
             self.metrics.locks_denied += 1
+            self.recorder.event(obs_events.LOCK_DENIED, job_id=holder,
+                                signature=strict_signature[:12],
+                                held_by=current)
             return False
         self._locks[strict_signature] = holder
         self.metrics.locks_acquired += 1
+        self.recorder.event(obs_events.LOCK_ACQUIRED, job_id=holder,
+                            signature=strict_signature[:12])
         return True
 
     def release_view_lock(self, strict_signature: str, holder: str) -> None:
@@ -131,6 +165,8 @@ class InsightsService:
                 f"not {holder!r}")
         del self._locks[strict_signature]
         self.metrics.locks_released += 1
+        self.recorder.event(obs_events.LOCK_RELEASED, job_id=holder,
+                            signature=strict_signature[:12])
 
     def lock_holder(self, strict_signature: str) -> Optional[str]:
         return self._locks.get(strict_signature)

@@ -1,0 +1,191 @@
+"""Structured event log: the flight recorder's third pillar.
+
+One append-only stream of typed events covering the whole reuse feedback
+loop — the view lifecycle (created / sealed / invalidated / evicted /
+reused), the insights-service lock table (acquired / denied / released),
+kill-switch flips, per-job compile/finish records, and selection epochs.
+
+Consumers subscribe for live delivery (the query-monitoring tool of
+Figure 5 is one such subscriber) or read the JSONL export after the fact.
+The export is *replayable*: :func:`replay_counters` recomputes per-kind
+totals from the serialized stream, which tests compare against the live
+:class:`~repro.obs.metrics.MetricsRegistry` counters to prove the log is
+a faithful record rather than a parallel guess.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.common.clock import SECONDS_PER_DAY
+
+# ---------------------------------------------------------------------- #
+# event kinds (the schema's closed vocabulary)
+
+VIEW_CREATED = "view.created"
+VIEW_SEALED = "view.sealed"
+VIEW_REUSED = "view.reused"
+VIEW_INVALIDATED = "view.invalidated"
+VIEW_EVICTED = "view.evicted"
+LOCK_ACQUIRED = "lock.acquired"
+LOCK_DENIED = "lock.denied"
+LOCK_RELEASED = "lock.released"
+KILL_SWITCH_FLIPPED = "killswitch.flip"
+JOB_COMPILED = "job.compiled"
+JOB_FINISHED = "job.finished"
+SELECTION_EPOCH = "selection.epoch"
+
+ALL_KINDS = (
+    VIEW_CREATED, VIEW_SEALED, VIEW_REUSED, VIEW_INVALIDATED, VIEW_EVICTED,
+    LOCK_ACQUIRED, LOCK_DENIED, LOCK_RELEASED, KILL_SWITCH_FLIPPED,
+    JOB_COMPILED, JOB_FINISHED, SELECTION_EPOCH,
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured record: what happened, when, to which job."""
+
+    kind: str
+    at: float
+    job_id: str = ""
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"kind": self.kind, "at": self.at}
+        if self.job_id:
+            payload["job_id"] = self.job_id
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return json.dumps(payload, sort_keys=True)
+
+    @staticmethod
+    def from_json(line: str) -> "Event":
+        payload = json.loads(line)
+        return Event(
+            kind=payload["kind"],
+            at=float(payload["at"]),
+            job_id=payload.get("job_id", ""),
+            attrs=payload.get("attrs", {}),
+        )
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventLog:
+    """Append-only structured log with live subscribers."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._subscribers: List[Subscriber] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------ #
+    # writes
+
+    def append(self, event: Event) -> Event:
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def emit(self, kind: str, at: float, job_id: str = "",
+             **attrs: object) -> Event:
+        return self.append(Event(kind=kind, at=at, job_id=job_id,
+                                 attrs=attrs))
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Live delivery of every future event (monitoring tools)."""
+        self._subscribers.append(subscriber)
+
+    # ------------------------------------------------------------------ #
+    # reads
+
+    def events(self, kind: Optional[str] = None,
+               since: Optional[float] = None,
+               job_id: Optional[str] = None) -> List[Event]:
+        out = self._events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if since is not None:
+            out = [e for e in out if e.at >= since]
+        if job_id is not None:
+            out = [e for e in out if e.job_id == job_id]
+        return list(out)
+
+    def since_day(self, day: int) -> List[Event]:
+        """Events at or after simulated midnight of ``day``."""
+        return self.events(since=day * SECONDS_PER_DAY)
+
+    def counts(self) -> Dict[str, int]:
+        """Per-kind totals of the live stream."""
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    # export / replay
+
+    def to_jsonl(self) -> str:
+        return "\n".join(e.to_json() for e in self._events)
+
+    def dump_jsonl(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self._events:
+                handle.write(event.to_json() + "\n")
+        return len(self._events)
+
+    @staticmethod
+    def load_jsonl(path: str) -> List[Event]:
+        events: List[Event] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(Event.from_json(line))
+        return events
+
+
+def replay_counters(events: Iterable[Event]) -> Dict[str, float]:
+    """Recompute the ``events.<kind>`` counter totals from a serialized
+    stream.  A capture is consistent iff this equals the registry's
+    ``events.*`` counters from the live run."""
+    out: Dict[str, float] = {}
+    for event in events:
+        name = f"events.{event.kind}"
+        out[name] = out.get(name, 0.0) + 1.0
+    return out
+
+
+#: Attribute values longer than this are elided in :func:`render_events`
+#: (full values live in the JSONL export; think ``plan_text`` / ``sql``).
+_ATTR_DISPLAY_WIDTH = 48
+
+
+def _display_value(value: object) -> str:
+    text = str(value).replace("\n", "\\n")
+    if len(text) > _ATTR_DISPLAY_WIDTH:
+        text = text[:_ATTR_DISPLAY_WIDTH - 3] + "..."
+    return text
+
+
+def render_events(events: Iterable[Event], limit: Optional[int] = None) -> str:
+    """Operator-facing rendering of an event stream."""
+    lines = [f"{'time':>12}  {'kind':<20} {'job':<12} attrs"]
+    shown = 0
+    for event in events:
+        if limit is not None and shown >= limit:
+            lines.append("  ... (truncated)")
+            break
+        attrs = " ".join(f"{k}={_display_value(event.attrs[k])}"
+                         for k in sorted(event.attrs))
+        lines.append(f"{event.at:>12.3f}  {event.kind:<20} "
+                     f"{event.job_id:<12} {attrs}")
+        shown += 1
+    return "\n".join(lines)

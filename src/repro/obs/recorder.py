@@ -1,0 +1,234 @@
+"""The flight recorder: one facade over metrics, traces, and events.
+
+Components never construct their own telemetry; they hold a ``recorder``
+attribute that defaults to the shared :data:`NULL_RECORDER`, whose every
+operation is a no-op.  This keeps the zero-instrumentation cost down to an
+attribute lookup and a cheap call (measured by
+``benchmarks/bench_obs_overhead.py``) and means recorder-disabled runs are
+behaviourally identical to uninstrumented code — the recorder only ever
+*observes*.
+
+Time: the recorder owns a :class:`~repro.common.clock.SimClock`.  Call
+sites that know the simulated moment pass ``at=`` explicitly (and the
+driver advances the clock via :meth:`FlightRecorder.advance_to`); call
+sites deep in the stack (e.g. the insights lock table) omit ``at`` and the
+recorder stamps them with the clock's current simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.common.clock import SimClock
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+#: Capture-directory file names (shared by the dumper and the CLI reader).
+METRICS_FILE = "metrics.json"
+SPANS_FILE = "spans.jsonl"
+EVENTS_FILE = "events.jsonl"
+
+
+class FlightRecorder:
+    """Unified tracing + metrics + structured event log."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.events = EventLog()
+
+    # ------------------------------------------------------------------ #
+    # time
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Pull the recorder clock forward to the simulation's time."""
+        self.clock.advance_to(timestamp)
+
+    # ------------------------------------------------------------------ #
+    # pillar shortcuts
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.metrics.inc(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def start_span(self, name: str, trace_id: str,
+                   at: Optional[float] = None,
+                   parent: Optional[Span] = None,
+                   **attrs: object) -> Span:
+        when = self.now if at is None else at
+        self.advance_to(when)
+        return self.tracer.start_span(name, trace_id, when,
+                                      parent=parent, **attrs)
+
+    def event(self, kind: str, at: Optional[float] = None,
+              job_id: str = "", **attrs: object) -> Optional[Event]:
+        """Append a structured event and bump its ``events.<kind>`` counter.
+
+        The counter mirror is what makes the JSONL export *replayable*:
+        recomputing per-kind totals from the file must reproduce these
+        counters exactly.
+        """
+        when = self.now if at is None else at
+        self.advance_to(when)
+        self.metrics.inc(f"events.{kind}")
+        return self.events.emit(kind, when, job_id=job_id, **attrs)
+
+    # ------------------------------------------------------------------ #
+    # wiring
+
+    def install(self, engine) -> "FlightRecorder":
+        """Attach this recorder to an engine and its owned components."""
+        engine.recorder = self
+        engine.insights.recorder = self
+        engine.view_store.recorder = self
+        return self
+
+    # ------------------------------------------------------------------ #
+    # capture
+
+    def dump(self, directory: str) -> Dict[str, str]:
+        """Write the capture files; returns name -> path."""
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "metrics": os.path.join(directory, METRICS_FILE),
+            "spans": os.path.join(directory, SPANS_FILE),
+            "events": os.path.join(directory, EVENTS_FILE),
+        }
+        self.metrics.dump_json(paths["metrics"])
+        self.tracer.dump_jsonl(paths["spans"])
+        self.events.dump_jsonl(paths["events"])
+        return paths
+
+    def render_summary(self) -> str:
+        """Compact operator summary for CLI output."""
+        counts = self.events.counts()
+        event_line = ", ".join(f"{kind}={counts[kind]}"
+                               for kind in sorted(counts))
+        lines = [
+            "Flight recorder — "
+            f"{len(self.tracer)} spans, {len(self.events)} events",
+        ]
+        if event_line:
+            lines.append(f"  events: {event_line}")
+        fetch = self.metrics.histogram("insights.fetch.latency")
+        if fetch is not None and fetch.count:
+            lines.append(
+                "  insights.fetch.latency: "
+                f"count={fetch.count} mean={fetch.mean * 1000:.2f}ms "
+                f"p50={fetch.quantile(50) * 1000:.2f}ms "
+                f"p95={fetch.quantile(95) * 1000:.2f}ms "
+                f"p99={fetch.quantile(99) * 1000:.2f}ms")
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """Inert span: absorbs annotate/finish without recording anything."""
+
+    __slots__ = ()
+    span_id = 0
+    name = ""
+    trace_id = ""
+    start = 0.0
+    end: Optional[float] = 0.0
+    parent_id: Optional[int] = None
+    attrs: Dict[str, object] = {}
+    duration = 0.0
+
+    def annotate(self, key: str, value: object) -> "_NullSpan":
+        return self
+
+    def finish(self, at: float) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """No-op recorder with the full :class:`FlightRecorder` surface.
+
+    Used as the default everywhere so uninstrumented runs pay only the
+    cost of these empty calls — and produce results identical to code
+    that predates the flight recorder.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.events = EventLog()
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+    def advance_to(self, timestamp: float) -> None:
+        pass
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def start_span(self, name: str, trace_id: str,
+                   at: Optional[float] = None,
+                   parent: Optional[Span] = None,
+                   **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, kind: str, at: Optional[float] = None,
+              job_id: str = "", **attrs: object) -> None:
+        return None
+
+    def install(self, engine) -> "NullRecorder":
+        engine.recorder = self
+        engine.insights.recorder = self
+        engine.view_store.recorder = self
+        return self
+
+    def dump(self, directory: str) -> Dict[str, str]:
+        return {}
+
+    def render_summary(self) -> str:
+        return "Flight recorder — disabled"
+
+
+#: Shared inert recorder; components default to this.
+NULL_RECORDER = NullRecorder()
+
+
+def load_capture(directory: str) -> Dict[str, object]:
+    """Read a capture directory back: metrics dict, spans, events."""
+    out: Dict[str, object] = {}
+    metrics_path = os.path.join(directory, METRICS_FILE)
+    spans_path = os.path.join(directory, SPANS_FILE)
+    events_path = os.path.join(directory, EVENTS_FILE)
+    if os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            out["metrics"] = json.load(handle)
+    if os.path.exists(spans_path):
+        out["spans"] = Tracer.load_jsonl(spans_path)
+    if os.path.exists(events_path):
+        out["events"] = EventLog.load_jsonl(events_path)
+    return out

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.catalog.catalog import Catalog
+from repro.obs.recorder import NULL_RECORDER
 from repro.optimizer.cost import CostModel
 from repro.optimizer.stats import CardinalityEstimator, StatisticsCatalog
 from repro.storage.views import ViewStore
@@ -53,6 +54,12 @@ class OptimizerContext:
     #: Callback to the insights service: returns True if the exclusive
     #: view-creation lock for a strict signature was acquired.
     acquire_view_lock: Callable[[str], bool] = lambda signature: True
+    #: Flight recorder plus the trace correlation for this compilation:
+    #: ``trace_id`` is the job id and ``compile_span`` the enclosing
+    #: ``job.compile`` span, so matching/buildout spans nest under it.
+    recorder: object = NULL_RECORDER
+    trace_id: str = ""
+    compile_span: object = None
 
     def estimator(self) -> CardinalityEstimator:
         return CardinalityEstimator(

@@ -48,8 +48,16 @@ def optimize(plan: LogicalPlan, ctx: OptimizerContext,
     estimator = ctx.estimator()
     cost_without = ctx.cost_model.plan_cost(logical, estimator)
 
+    match_span = ctx.recorder.start_span(
+        "view.match", trace_id=ctx.trace_id, at=now, parent=ctx.compile_span)
     matched = match_views(logical, ctx, now)
+    match_span.annotate("matches", len(matched.matches)).finish(at=now)
+
+    build_span = ctx.recorder.start_span(
+        "view.buildout", trace_id=ctx.trace_id, at=now,
+        parent=ctx.compile_span)
     built = insert_spools(matched.plan, ctx, now)
+    build_span.annotate("proposals", len(built.proposals)).finish(at=now)
 
     final_cost = ctx.cost_model.plan_cost(built.plan, ctx.estimator())
     return OptimizedPlan(

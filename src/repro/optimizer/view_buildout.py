@@ -87,8 +87,10 @@ def _build(plan: LogicalPlan, ctx: OptimizerContext, now: float,
     if ctx.view_store.is_materializing(strict, now):
         return plan  # another job holds the build
     if not ctx.acquire_view_lock(strict):
+        ctx.recorder.inc("views.buildout.lock_lost")
         return plan  # lost the race for the exclusive lock
 
+    ctx.recorder.inc("views.buildout.proposed")
     path = view_path_for(ctx.virtual_cluster, strict)
     ctx.view_store.begin_materialize(
         strict, path, plan.schema, ctx.virtual_cluster, now,

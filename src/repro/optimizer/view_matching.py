@@ -81,6 +81,7 @@ def _try_replace(plan: LogicalPlan, ctx: OptimizerContext, now: float,
     if not is_reuse_eligible(plan):
         return None
     signature = strict_signature(plan, ctx.salt)
+    ctx.recorder.inc("views.match.attempts")
     view = ctx.view_store.lookup(signature, now)
     if view is None:
         if ctx.enable_containment:
@@ -88,8 +89,10 @@ def _try_replace(plan: LogicalPlan, ctx: OptimizerContext, now: float,
         return None
     cost_with, cost_without = _compare_costs(plan, view, ctx)
     if cost_with >= cost_without:
+        ctx.recorder.inc("views.match.rejected_by_cost")
         return None
-    ctx.view_store.record_reuse(signature)
+    ctx.recorder.inc("views.match.hits")
+    ctx.view_store.record_reuse(signature, reused_by=ctx.trace_id)
     matches.append(ViewMatch(
         signature=signature,
         view_path=view.path,
@@ -132,7 +135,8 @@ def _try_containment(plan: LogicalPlan, ctx: OptimizerContext, now: float,
         cost_with, cost_without = _compare_rewrites(plan, rewritten, ctx)
         if cost_with >= cost_without:
             continue
-        ctx.view_store.record_reuse(view.signature)
+        ctx.view_store.record_reuse(view.signature,
+                                    reused_by=ctx.trace_id)
         matches.append(ViewMatch(
             signature=view.signature,
             view_path=view.path,

@@ -31,11 +31,13 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Set
 
+from repro.obs.recorder import NULL_RECORDER
 from repro.selection.candidates import (
     READ_COST_PER_ROW,
     WRITE_COST_PER_ROW,
     ReuseCandidate,
 )
+from repro.selection.greedy import record_selection
 from repro.selection.policies import SelectionPolicy, SelectionResult
 from repro.selection.schedule import prefilter_candidates
 from repro.workload.repository import SubexpressionRecord, WorkloadRepository
@@ -45,7 +47,8 @@ MAX_ITERATIONS = 10
 
 def bigsubs_select(repository: WorkloadRepository,
                    candidates: List[ReuseCandidate],
-                   policy: SelectionPolicy) -> SelectionResult:
+                   policy: SelectionPolicy,
+                   recorder=NULL_RECORDER) -> SelectionResult:
     """Iterative bipartite label propagation over jobs x candidates."""
     result = SelectionResult(considered=len(candidates))
     filtered, rejected = prefilter_candidates(candidates, policy)
@@ -112,7 +115,7 @@ def bigsubs_select(repository: WorkloadRepository,
         / max(1, occurrences.get(c.recurring, 1))
         - len(epochs.get(c.recurring, ())) * c.avg_rows * WRITE_COST_PER_ROW
         for c in result.selected)
-    return result
+    return record_selection(recorder, result)
 
 
 # --------------------------------------------------------------------- #

@@ -17,13 +17,32 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List
 
+from repro.obs.recorder import NULL_RECORDER
 from repro.selection.candidates import ReuseCandidate
 from repro.selection.policies import SelectionPolicy, SelectionResult
 from repro.selection.schedule import prefilter_candidates
 
 
+def record_selection(recorder, result: SelectionResult) -> SelectionResult:
+    """Mirror one selection run's outcome into the flight recorder.
+
+    Shared by every selector so an operator can watch the feedback loop
+    (candidates considered, schedule/budget rejections, bytes committed)
+    regardless of which algorithm a deployment runs.
+    """
+    recorder.inc("selection.runs")
+    recorder.inc("selection.candidates.considered", result.considered)
+    recorder.inc("selection.candidates.selected", len(result.selected))
+    recorder.inc("selection.rejected.schedule", result.rejected_by_schedule)
+    recorder.inc("selection.rejected.budget", result.rejected_by_budget)
+    recorder.set_gauge("selection.storage_used", result.storage_used)
+    recorder.observe("selection.expected_benefit", result.expected_benefit)
+    return result
+
+
 def greedy_select(candidates: List[ReuseCandidate],
-                  policy: SelectionPolicy) -> SelectionResult:
+                  policy: SelectionPolicy,
+                  recorder=NULL_RECORDER) -> SelectionResult:
     """Global greedy packing under the policy's storage budget."""
     result = SelectionResult(considered=len(candidates))
     filtered, rejected = prefilter_candidates(candidates, policy)
@@ -44,11 +63,12 @@ def greedy_select(candidates: List[ReuseCandidate],
         result.selected.append(candidate)
         result.storage_used += candidate.avg_bytes
         result.expected_benefit += candidate.benefit
-    return result
+    return record_selection(recorder, result)
 
 
 def per_vc_select(candidates: List[ReuseCandidate],
-                  policy: SelectionPolicy) -> SelectionResult:
+                  policy: SelectionPolicy,
+                  recorder=NULL_RECORDER) -> SelectionResult:
     """Partition candidates by virtual cluster; apply per-VC budgets.
 
     A candidate shared across several VCs competes in each VC with its
@@ -91,4 +111,4 @@ def per_vc_select(candidates: List[ReuseCandidate],
                              key=lambda c: (-c.density, c.recurring))
     result.storage_used = sum(c.avg_bytes for c in result.selected)
     result.expected_benefit = sum(c.benefit for c in result.selected)
-    return result
+    return record_selection(recorder, result)

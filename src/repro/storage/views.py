@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.clock import SECONDS_PER_WEEK
 from repro.common.errors import StorageError
+from repro.obs import events as obs_events
+from repro.obs.recorder import NULL_RECORDER
 
 DEFAULT_VIEW_TTL = SECONDS_PER_WEEK
 
@@ -59,12 +61,15 @@ class MaterializedView:
 class ViewStore:
     """Catalog of materialized views, keyed by strict signature."""
 
-    def __init__(self, ttl_seconds: float = DEFAULT_VIEW_TTL):
+    def __init__(self, ttl_seconds: float = DEFAULT_VIEW_TTL,
+                 recorder=NULL_RECORDER):
         self.ttl_seconds = ttl_seconds
         self._views: Dict[str, MaterializedView] = {}
         self.total_created = 0
         self.total_reused = 0
         self.total_expired = 0
+        #: Flight recorder (no-op unless a real one is installed).
+        self.recorder = recorder
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -92,10 +97,13 @@ class ViewStore:
             definition=definition,
         )
         self._views[signature] = view
+        self.recorder.event(obs_events.VIEW_CREATED, at=now,
+                            signature=signature[:12], path=path,
+                            virtual_cluster=virtual_cluster)
         return view
 
     def seal(self, signature: str, now: float, row_count: int,
-             size_bytes: int) -> MaterializedView:
+             size_bytes: int, sealed_by: str = "") -> MaterializedView:
         """Early-seal a view: it becomes visible for reuse immediately."""
         view = self._require(signature)
         view.sealed = True
@@ -103,6 +111,11 @@ class ViewStore:
         view.row_count = row_count
         view.size_bytes = size_bytes
         self.total_created += 1
+        self.recorder.event(obs_events.VIEW_SEALED, at=now,
+                            job_id=sealed_by,
+                            signature=signature[:12], rows=row_count,
+                            bytes=size_bytes)
+        self.recorder.set_gauge("views.live_bytes", self.storage_in_use(now))
         return view
 
     def abandon(self, signature: str) -> None:
@@ -110,10 +123,14 @@ class ViewStore:
         view = self._views.get(signature)
         if view is not None and not view.sealed:
             del self._views[signature]
+            self.recorder.event(obs_events.VIEW_INVALIDATED,
+                                signature=signature[:12], reason="abandoned")
 
     def purge(self, signature: str) -> None:
         """User-initiated deletion of a view's files."""
         self._require(signature).purged = True
+        self.recorder.event(obs_events.VIEW_INVALIDATED,
+                            signature=signature[:12], reason="purged")
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -125,10 +142,13 @@ class ViewStore:
             return view
         return None
 
-    def record_reuse(self, signature: str) -> None:
+    def record_reuse(self, signature: str, reused_by: str = "") -> None:
         view = self._require(signature)
         view.reuse_count += 1
         self.total_reused += 1
+        self.recorder.event(obs_events.VIEW_REUSED, job_id=reused_by,
+                            signature=signature[:12],
+                            reuse_count=view.reuse_count)
 
     def is_materializing(self, signature: str, now: float) -> bool:
         """True while a producing job holds the view-in-progress slot."""
@@ -142,6 +162,12 @@ class ViewStore:
         for view in expired:
             del self._views[view.signature]
             self.total_expired += 1
+            self.recorder.event(obs_events.VIEW_EVICTED, at=now,
+                                signature=view.signature[:12],
+                                reuse_count=view.reuse_count)
+        if expired:
+            self.recorder.set_gauge("views.live_bytes",
+                                    self.storage_in_use(now))
         return expired
 
     # ------------------------------------------------------------------ #

@@ -12,15 +12,18 @@ from repro.telemetry.comparison import (
     ComparisonReport,
     MetricComparison,
     PercentileBaseline,
+    compare_event_logs,
     compare_telemetry,
     evaluate_against_baseline,
     percentile,
     percentile_baseline,
+    telemetry_from_events,
 )
 
 __all__ = [
     "TABLE1_METRICS", "ComparisonReport", "MetricComparison",
-    "PercentileBaseline", "compare_telemetry", "evaluate_against_baseline",
-    "percentile", "percentile_baseline", "MicroModel", "MicroModelBank",
+    "PercentileBaseline", "compare_event_logs", "compare_telemetry",
+    "evaluate_against_baseline", "percentile", "percentile_baseline",
+    "telemetry_from_events", "MicroModel", "MicroModelBank",
     "PredictionQuality", "evaluate_micromodels", "fit_micromodels",
 ]
