@@ -1,0 +1,40 @@
+"""Static soundness analysis for the reuse pipeline (``repro lint``).
+
+A small rule engine (:mod:`repro.analysis.framework`) plus three rule
+packs: structural plan validation (:mod:`repro.analysis.plan_rules`),
+signature soundness (:mod:`repro.analysis.signature_rules`), and reuse
+safety (:mod:`repro.analysis.reuse_rules`).  The optimizer pipeline can
+run the same rules as debug-mode assertions via
+:mod:`repro.analysis.hooks`.
+"""
+
+from repro.analysis.framework import (
+    ACYCLICITY_RULE,
+    SEVERITIES,
+    AnalysisContext,
+    Analyzer,
+    Finding,
+    Report,
+    Rule,
+    default_rules,
+    register,
+    rule_catalog,
+    safe_walk,
+)
+from repro.analysis.hooks import assert_stage_sound, stage_analyzer
+
+__all__ = [
+    "ACYCLICITY_RULE",
+    "SEVERITIES",
+    "AnalysisContext",
+    "Analyzer",
+    "Finding",
+    "Report",
+    "Rule",
+    "assert_stage_sound",
+    "default_rules",
+    "register",
+    "rule_catalog",
+    "safe_walk",
+    "stage_analyzer",
+]

@@ -1,0 +1,58 @@
+"""Debug-mode soundness assertions inside the optimizer pipeline.
+
+With ``OptimizerContext.debug_checks`` enabled (engine config or the
+``REPRO_DEBUG_CHECKS`` environment variable), the pipeline re-validates
+its own output after the two reuse rewrites — post-match and
+post-buildout — using the same rule packs as ``repro lint``.  An error
+finding raises :class:`~repro.common.errors.LintError` on the spot, so a
+rewrite that corrupts a plan fails the compile that produced it instead
+of a query three stages later.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.framework import AnalysisContext, Analyzer, Report
+from repro.common.errors import LintError
+from repro.plan.logical import LogicalPlan
+
+#: Workload-scoped rules never fire from a single-plan hook; suppressing
+#: them just keeps the per-compile rule list honest.
+_STAGE_SUPPRESS = ("sig-collision", "reuse-store-audit")
+
+
+def stage_analyzer(ctx) -> Analyzer:
+    """Analyzer wired to an :class:`OptimizerContext`'s recorder."""
+    return Analyzer(suppress=_STAGE_SUPPRESS, recorder=ctx.recorder)
+
+
+def analysis_context(ctx, now: float) -> AnalysisContext:
+    return AnalysisContext(catalog=ctx.catalog, view_store=ctx.view_store,
+                           salt=ctx.salt, now=now, job_id=ctx.trace_id)
+
+
+def assert_stage_sound(plan: LogicalPlan, ctx, stage: str, now: float,
+                       matches: Sequence[object] = (),
+                       analyzer: Optional[Analyzer] = None) -> Report:
+    """Lint one pipeline stage's output; raise LintError on any error.
+
+    Returns the report (warnings and info included) so callers can log
+    sub-error findings without failing the compile.
+    """
+    analyzer = analyzer or stage_analyzer(ctx)
+    actx = analysis_context(ctx, now)
+    report = analyzer.analyze_plan(plan, actx, job_id=ctx.trace_id)
+    if matches:
+        report.extend(analyzer.analyze_matches(matches, actx,
+                                               job_id=ctx.trace_id))
+    ctx.recorder.inc(f"lint.stage.{stage}.findings",
+                     len(report.findings))
+    if not report.ok:
+        first = report.errors[0]
+        raise LintError(
+            f"{stage} soundness check failed for job "
+            f"{ctx.trace_id or '<unknown>'}: {first.render()} "
+            f"({len(report.errors)} error finding(s))",
+            findings=report.errors)
+    return report

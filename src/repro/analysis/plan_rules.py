@@ -1,0 +1,305 @@
+"""Rule pack 1: structural plan validation.
+
+These rules re-check invariants that operator constructors enforce at
+build time but that nothing re-verifies after rewrites, matching, and
+buildout have transformed the tree.  A refactor that mutates plans through
+``object.__setattr__``, builds nodes through a path that skips
+``__post_init__``, or wires a ViewScan with the wrong schema corrupts
+reuse silently — these rules make that loud.
+
+Acyclicity is enforced by the analyzer itself (rule name
+``plan-dag-acyclic``) because no other rule is safe to run on a cyclic
+plan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.analysis.framework import AnalysisContext, Finding, Rule, register
+from repro.plan.expressions import ColumnRef, Expr, Star
+from repro.plan.logical import (
+    Filter,
+    GroupBy,
+    Join,
+    LogicalPlan,
+    Project,
+    Sort,
+    Spool,
+    Union,
+    ViewScan,
+)
+
+# --------------------------------------------------------------------- #
+# helpers
+
+
+def _column_refs(exprs: Iterable[Expr]) -> Iterator[ColumnRef]:
+    for expr in exprs:
+        for node in expr.walk():
+            if isinstance(node, ColumnRef):
+                yield node
+
+
+def _resolves(ref: ColumnRef, schema: Sequence[str]) -> bool:
+    """Mirror of ``ColumnRef.evaluate``'s resolution order."""
+    if ref.key in schema or ref.name in schema:
+        return True
+    suffix = "." + ref.name
+    return sum(1 for column in schema if column.endswith(suffix)) == 1
+
+
+def _unresolved(exprs: Iterable[Expr],
+                schema: Sequence[str]) -> List[str]:
+    missing = []
+    for ref in _column_refs(exprs):
+        if isinstance(ref, Star):
+            continue
+        if not _resolves(ref, schema) and ref.key not in missing:
+            missing.append(ref.key)
+    return missing
+
+
+# --------------------------------------------------------------------- #
+# arity rules
+
+
+@register
+class ProjectArityRule(Rule):
+    name = "plan-project-arity"
+    severity = "error"
+    description = "Project exprs and names lists must have equal length"
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, Project):
+            return
+        if len(node.exprs) != len(node.names):
+            yield self.finding(
+                f"Project has {len(node.exprs)} exprs but "
+                f"{len(node.names)} names",
+                operator=node.op_label, path=path,
+                exprs=len(node.exprs), names=len(node.names))
+
+
+@register
+class GroupByArityRule(Rule):
+    name = "plan-groupby-arity"
+    severity = "error"
+    description = "GroupBy names must cover keys then aggregates, 1:1"
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, GroupBy):
+            return
+        expected = len(node.keys) + len(node.aggregates)
+        if len(node.names) != expected:
+            yield self.finding(
+                f"GroupBy has {len(node.keys)} keys + "
+                f"{len(node.aggregates)} aggregates but "
+                f"{len(node.names)} names",
+                operator=node.op_label, path=path)
+        for aggregate in node.aggregates:
+            if not aggregate.is_aggregate():
+                yield self.finding(
+                    f"GroupBy aggregate {aggregate.to_sql()} contains no "
+                    "aggregate function", severity="warn",
+                    operator=node.op_label, path=path)
+
+
+@register
+class JoinKeysRule(Rule):
+    name = "plan-join-keys"
+    severity = "error"
+    description = ("Join key lists must align (signature hashing zips "
+                   "them, silently truncating the longer side) and each "
+                   "side's keys must resolve against that side's child")
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, Join):
+            return
+        if len(node.left_keys) != len(node.right_keys):
+            yield self.finding(
+                f"Join has {len(node.left_keys)} left keys but "
+                f"{len(node.right_keys)} right keys; "
+                "zip() would silently drop the extras from the signature",
+                operator=node.op_label, path=path)
+        for side, keys, child in (("left", node.left_keys, node.left),
+                                  ("right", node.right_keys, node.right)):
+            missing = _unresolved(keys, child.schema)
+            if missing:
+                yield self.finding(
+                    f"Join {side} keys reference columns missing from the "
+                    f"{side} child schema: {', '.join(missing)}",
+                    operator=node.op_label, path=path)
+        dropped = [c for c in node.drop_right if c not in node.right.schema]
+        if dropped:
+            yield self.finding(
+                f"Join drop_right names columns not in the right child "
+                f"schema: {', '.join(dropped)}",
+                severity="warn", operator=node.op_label, path=path)
+
+
+@register
+class UnionArityRule(Rule):
+    name = "plan-union-arity"
+    severity = "error"
+    description = "Union inputs must agree on arity (and number >= 2)"
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, Union):
+            return
+        if len(node.inputs) < 2:
+            yield self.finding(
+                f"Union has {len(node.inputs)} inputs (needs at least 2)",
+                operator=node.op_label, path=path)
+            return
+        arity = len(node.inputs[0].schema)
+        for index, child in enumerate(node.inputs[1:], start=1):
+            if len(child.schema) != arity:
+                yield self.finding(
+                    f"Union input {index} has arity {len(child.schema)}, "
+                    f"input 0 has arity {arity}",
+                    operator=node.op_label, path=path)
+
+
+# --------------------------------------------------------------------- #
+# reference resolution
+
+
+@register
+class ColumnResolutionRule(Rule):
+    name = "plan-column-resolution"
+    severity = "error"
+    description = ("Every column reference must resolve against the "
+                   "operator's child schema")
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        exprs: List[Expr] = []
+        schema: Sequence[str] = ()
+        if isinstance(node, Filter):
+            exprs, schema = [node.predicate], node.child.schema
+        elif isinstance(node, Project):
+            exprs, schema = list(node.exprs), node.child.schema
+        elif isinstance(node, GroupBy):
+            exprs = list(node.keys) + list(node.aggregates)
+            schema = node.child.schema
+        elif isinstance(node, Sort):
+            exprs, schema = list(node.keys), node.child.schema
+        elif isinstance(node, Join):
+            # Sidedness of equi-keys is JoinKeysRule's job; the residual
+            # sees the merged row (before drop_right is applied).
+            if node.residual is None:
+                return
+            exprs = [node.residual]
+            schema = tuple(node.left.schema) + tuple(node.right.schema)
+        else:
+            return
+        missing = _unresolved(exprs, schema)
+        if missing:
+            yield self.finding(
+                f"{node.op_label} references columns missing from its "
+                f"input schema: {', '.join(missing)}",
+                operator=node.op_label, path=path,
+                missing=missing, schema=list(schema))
+
+
+# --------------------------------------------------------------------- #
+# CloudViews operators
+
+
+@register
+class ViewScanSchemaRule(Rule):
+    name = "plan-viewscan-schema"
+    severity = "error"
+    description = ("ViewScan columns must match the schema recorded on "
+                   "the materialized view (and on its definition)")
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, ViewScan):
+            return
+        if not node.columns:
+            yield self.finding("ViewScan has an empty column list",
+                               operator=node.op_label, path=path)
+        if not node.signature:
+            yield self.finding("ViewScan has no signature",
+                               operator=node.op_label, path=path)
+        store = ctx.view_store
+        if store is None or not node.signature:
+            return
+        view = store.get(node.signature)
+        if view is None:
+            return  # reuse-view-liveness reports the missing view
+        if view.schema and tuple(view.schema) != tuple(node.columns):
+            yield self.finding(
+                "ViewScan columns disagree with the view's recorded "
+                f"schema: scan={list(node.columns)} "
+                f"view={list(view.schema)}",
+                operator=node.op_label, path=path)
+        definition = view.definition
+        if definition is not None:
+            def_schema = tuple(definition.schema)
+            if def_schema != tuple(node.columns):
+                yield self.finding(
+                    "ViewScan columns disagree with the view definition's "
+                    f"schema: scan={list(node.columns)} "
+                    f"definition={list(def_schema)}",
+                    operator=node.op_label, path=path)
+
+
+@register
+class SpoolWellFormedRule(Rule):
+    name = "plan-spool-wellformed"
+    severity = "error"
+    description = ("Spools must encode their signature in the output "
+                   "path, materialize each signature at most once per "
+                   "plan, and never wrap another spool or the view they "
+                   "would recreate")
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, Spool):
+            return
+        if not node.signature:
+            yield self.finding("Spool has no signature",
+                               operator=node.op_label, path=path)
+        elif node.signature not in node.view_path:
+            yield self.finding(
+                f"Spool path {node.view_path!r} does not encode its "
+                f"strict signature {node.signature[:12]}…",
+                operator=node.op_label, path=path)
+        if node.expiry_seconds <= 0:
+            yield self.finding(
+                f"Spool expiry {node.expiry_seconds} is not positive; the "
+                "view would be born expired", severity="warn",
+                operator=node.op_label, path=path)
+        if isinstance(node.child, Spool):
+            yield self.finding(
+                "Spool directly wraps another Spool (one consumer pair "
+                "per materialization)", operator=node.op_label, path=path)
+        if isinstance(node.child, ViewScan) and \
+                node.child.signature == node.signature:
+            yield self.finding(
+                "Spool re-materializes the very view it reads "
+                f"({node.signature[:12]}…)",
+                operator=node.op_label, path=path)
+
+    def check_plan(self, plan: LogicalPlan,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        from repro.analysis.framework import safe_walk
+
+        seen: dict = {}
+        for node, path in safe_walk(plan)[0]:
+            if isinstance(node, Spool) and node.signature:
+                if node.signature in seen:
+                    yield self.finding(
+                        f"signature {node.signature[:12]}… is spooled "
+                        f"twice in one plan ({seen[node.signature]} and "
+                        f"{path}); the second producer would race the "
+                        "first", operator=node.op_label, path=path)
+                else:
+                    seen[node.signature] = path

@@ -1,0 +1,179 @@
+"""Rule pack 3: reuse safety.
+
+The previous two packs check plans and hashes in isolation; this one
+checks them against the *state of the world* — the catalog's current
+stream GUIDs, the view store's lifecycle flags, and the cost model's
+recorded decisions.  These are the checks that catch the production
+incidents the paper describes: reading a view built over last week's
+inputs, matching a view that has already expired, or "reusing" a view
+that is more expensive to scan than to recompute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.framework import AnalysisContext, Finding, Rule, register
+from repro.plan.logical import LogicalPlan, Scan, ViewScan
+from repro.storage.views import MaterializedView
+
+
+def _stale_scans(view: MaterializedView,
+                 ctx: AnalysisContext) -> List[Tuple[str, str, str]]:
+    """(dataset, view_guid, current_guid) for every drifted input."""
+    definition = view.definition
+    if definition is None or ctx.catalog is None:
+        return []
+    out: List[Tuple[str, str, str]] = []
+    for node in definition.walk():
+        if not isinstance(node, Scan) or not node.stream_guid:
+            continue
+        if not ctx.catalog.has(node.dataset):
+            continue
+        current = ctx.catalog.current_guid(node.dataset)
+        if current != node.stream_guid:
+            out.append((node.dataset, node.stream_guid, current))
+    return out
+
+
+def _unavailable_reason(view: MaterializedView,
+                        now: float) -> Optional[str]:
+    if view.purged:
+        return "purged by a user"
+    if not view.sealed:
+        return "not yet sealed (its producing stage has not completed)"
+    if view.sealed_at is not None and now < view.sealed_at:
+        return f"sealed in the future (at {view.sealed_at:.0f})"
+    if now >= view.expires_at:
+        return f"expired at {view.expires_at:.0f} (now {now:.0f})"
+    return None
+
+
+@register
+class ViewLivenessRule(Rule):
+    name = "reuse-view-liveness"
+    severity = "error"
+    description = ("Every ViewScan must reference a view that exists and "
+                   "is available (sealed, unexpired, unpurged) now")
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, ViewScan) or not node.signature:
+            return
+        store = ctx.view_store
+        if store is None:
+            return
+        view = store.get(node.signature)
+        if view is None:
+            yield self.finding(
+                f"ViewScan references view {node.signature[:12]}… which "
+                "is not in the view store; execution would read a path "
+                "with no producer", operator=node.op_label, path=path)
+            return
+        reason = _unavailable_reason(view, ctx.now)
+        if reason is not None:
+            yield self.finding(
+                f"ViewScan reads view {node.signature[:12]}… which is "
+                f"{reason}", operator=node.op_label, path=path)
+        if view.path != node.view_path:
+            yield self.finding(
+                f"ViewScan path {node.view_path!r} disagrees with the "
+                f"store's path {view.path!r} for the same signature",
+                operator=node.op_label, path=path)
+
+
+@register
+class StaleViewRule(Rule):
+    name = "reuse-stale-view"
+    severity = "error"
+    description = ("A matched view's input stream GUIDs must equal the "
+                   "catalog's current GUIDs (strict signatures should "
+                   "have prevented the match otherwise)")
+
+    def check_node(self, node: LogicalPlan, path: str,
+                   ctx: AnalysisContext) -> Iterable[Finding]:
+        if not isinstance(node, ViewScan) or ctx.view_store is None:
+            return
+        view = ctx.view_store.get(node.signature)
+        if view is None:
+            return  # reuse-view-liveness already reported it
+        for dataset, had, current in _stale_scans(view, ctx):
+            yield self.finding(
+                f"view {node.signature[:12]}… was built over "
+                f"{dataset}@{had[:12]}… but the catalog now serves "
+                f"{dataset}@{current[:12]}…; the match would read stale "
+                "data", operator=node.op_label, path=path,
+                dataset=dataset)
+
+
+@register
+class ViewStoreAuditRule(Rule):
+    name = "reuse-store-audit"
+    severity = "warn"
+    description = ("Workload-level sweep of the view store: stale "
+                   "definitions, overdue evictions, malformed metadata")
+
+    def check_workload(self, plans: Sequence[Tuple[str, LogicalPlan]],
+                       ctx: AnalysisContext) -> Iterable[Finding]:
+        store = ctx.view_store
+        if store is None:
+            return
+        for view in store.views():
+            tag = view.signature[:12] + "…"
+            stale = _stale_scans(view, ctx)
+            if stale and view.available(ctx.now):
+                datasets = ", ".join(d for d, _, _ in stale)
+                yield self.finding(
+                    f"available view {tag} was built over outdated "
+                    f"versions of: {datasets}; it should have been "
+                    "recreated when the inputs changed",
+                    signature=view.signature)
+            if view.sealed and ctx.now >= view.expires_at:
+                yield self.finding(
+                    f"view {tag} expired but has not been evicted; "
+                    "storage accounting is drifting",
+                    signature=view.signature)
+            if view.expires_at <= view.created_at:
+                yield self.finding(
+                    f"view {tag} was born expired "
+                    f"(created {view.created_at:.0f}, expires "
+                    f"{view.expires_at:.0f})", severity="error",
+                    signature=view.signature)
+            if view.signature and view.signature not in view.path:
+                yield self.finding(
+                    f"view {tag} is stored at {view.path!r}, which does "
+                    "not encode its signature; purge tooling cannot "
+                    "identify it", signature=view.signature)
+            if not view.recurring_signature:
+                yield self.finding(
+                    f"view {tag} has no recurring signature; the "
+                    "feedback loop cannot aggregate it across runs",
+                    severity="info", signature=view.signature)
+
+
+@register
+class CostSanityRule(Rule):
+    name = "reuse-cost-sanity"
+    severity = "error"
+    description = ("A recorded match must have scan-the-view cost below "
+                   "recompute cost (the memo keeps the view plan only "
+                   "when it is cheaper)")
+
+    def check_match(self, match, ctx: AnalysisContext) -> Iterable[Finding]:
+        if match.cost_with >= match.cost_without:
+            yield self.finding(
+                f"match on {match.signature[:12]}… was accepted with "
+                f"view cost {match.cost_with:.1f} >= recompute cost "
+                f"{match.cost_without:.1f}; the cost gate is broken",
+                signature=match.signature)
+        if match.cost_without < 0 or match.cost_with < 0:
+            yield self.finding(
+                f"match on {match.signature[:12]}… has a negative cost "
+                f"(with={match.cost_with:.1f}, "
+                f"without={match.cost_without:.1f})",
+                signature=match.signature)
+        if match.view_rows < 0:
+            yield self.finding(
+                f"match on {match.signature[:12]}… records a negative "
+                f"row count ({match.view_rows})",
+                severity="warn", signature=match.signature)

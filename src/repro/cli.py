@@ -13,7 +13,10 @@ Commands:
   optimized plan;
 * ``obs``       -- inspect a flight-recorder capture (``obs metrics``,
   ``obs trace <job_id>``, ``obs events --since <day>``) written by
-  ``simulate --obs-dir``.
+  ``simulate --obs-dir``;
+* ``lint``      -- run the plan/signature/reuse soundness analyzer over
+  the bundled workloads (text or JSON findings; non-zero exit on any
+  error finding, so it slots straight into CI).
 """
 
 from __future__ import annotations
@@ -106,6 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(e.g. view.sealed)")
     obs_events.add_argument("--limit", type=int, default=200)
 
+    lint = sub.add_parser(
+        "lint", help="soundness analysis of the reuse pipeline "
+                     "(plan validity, signature soundness, reuse safety)")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      dest="output_format")
+    lint.add_argument("--suppress", action="append", default=[],
+                      metavar="RULE",
+                      help="skip one rule by name (repeatable); see "
+                           "--list-rules")
+    lint.add_argument("--workload", default="all",
+                      choices=["all", "cooking", "tpcds"],
+                      help="which bundled workload(s) to analyze")
+    lint.add_argument("--seed", type=int, default=7)
+    lint.add_argument("--scale-rows", type=int, default=500,
+                      help="TPC-DS synthetic row count")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     return parser
 
 
@@ -118,6 +139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "explain": _cmd_explain,
         "obs": _cmd_obs,
+        "lint": _cmd_lint,
     }[args.command]
     try:
         return handler(args)
@@ -284,6 +306,85 @@ def _cmd_explain(args) -> int:
                               reuse_enabled=False)
     print(compiled.plan.explain())
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import AnalysisContext, Analyzer, Report, rule_catalog
+
+    if args.list_rules:
+        for name, severity, description in rule_catalog():
+            print(f"{name:<24} {severity:<5} {description}")
+        return 0
+
+    analyzer = Analyzer(suppress=args.suppress)
+    report = Report()
+    if args.workload in ("all", "cooking"):
+        report.extend(_lint_cooking(analyzer, args.seed))
+    if args.workload in ("all", "tpcds"):
+        report.extend(_lint_tpcds(analyzer, args.scale_rows))
+    if args.output_format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+def _lint_cooking(analyzer, seed: int):
+    """Compile-only lint of one cooked day of the generated workload."""
+    from repro.analysis import AnalysisContext
+
+    engine = ScopeEngine()
+    workload = generate_workload(seed=seed, virtual_clusters=2,
+                                 templates_per_vc=8)
+    workload.install(engine)
+    plans = []
+    last = 0.0
+    for instance in workload.jobs_for_day(0):
+        compiled = engine.compile(
+            instance.template.sql, params=instance.params,
+            virtual_cluster=instance.virtual_cluster,
+            reuse_enabled=False, now=instance.submit_time,
+            job_id=f"{instance.template.template_id}@d0")
+        plans.append((compiled.job_id, compiled.plan))
+        last = max(last, instance.submit_time)
+    ctx = AnalysisContext(catalog=engine.catalog,
+                          view_store=engine.view_store,
+                          salt=engine.signature_salt, now=last)
+    return analyzer.analyze_workload(plans, ctx)
+
+
+def _lint_tpcds(analyzer, scale_rows: int):
+    """Lint the TPC-DS flow end to end: the reuse round's plans carry
+    real ViewScans and Spools, so the reuse-safety rules get exercised
+    against a live view store."""
+    from repro.analysis import AnalysisContext
+    from repro.extensions.sparkcruise import (
+        QueryEventListener,
+        run_workload_analysis,
+    )
+    from repro.workload.tpcds import TPCDS_QUERIES, install_tpcds
+
+    engine = ScopeEngine()
+    install_tpcds(engine, scale_rows=scale_rows)
+    listener = QueryEventListener(engine)
+    for _, sql in TPCDS_QUERIES:
+        run = engine.run_sql(sql, reuse_enabled=False, now=0.0)
+        listener.on_query_end(run, now=0.0)
+    run_workload_analysis(listener, SelectionPolicy(min_reuses_per_epoch=0.0))
+
+    plans = []
+    matches = []
+    now = 100.0
+    for offset, (name, sql) in enumerate(TPCDS_QUERIES):
+        now = 100.0 + offset
+        run = engine.run_sql(sql, reuse_enabled=True, now=now)
+        plans.append((name, run.compiled.plan))
+        matches.extend(run.compiled.optimized.matches)
+    ctx = AnalysisContext(catalog=engine.catalog,
+                          view_store=engine.view_store,
+                          salt=engine.signature_salt, now=now)
+    report = analyzer.analyze_workload(plans, ctx)
+    return report.extend(analyzer.analyze_matches(matches, ctx))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,3 +63,15 @@ class SchedulingError(ReproError):
 
 class SignatureError(ReproError):
     """Raised when a signature cannot be computed (e.g. unbound parameters)."""
+
+
+class LintError(ReproError):
+    """Raised when a debug-mode soundness check finds an error finding.
+
+    Carries the findings so callers (tests, the simulation harness) can
+    inspect exactly which invariant broke.
+    """
+
+    def __init__(self, message: str, findings=()):
+        self.findings = list(findings)
+        super().__init__(message)

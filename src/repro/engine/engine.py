@@ -20,6 +20,7 @@ hazard described in Section 4 ("Impact of changed signatures").
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +51,11 @@ from repro.storage.store import DataStore
 from repro.storage.views import DEFAULT_VIEW_TTL, ViewStore
 
 
+def _debug_checks_default() -> bool:
+    """Debug-mode pipeline assertions; opt in via REPRO_DEBUG_CHECKS=1."""
+    return os.environ.get("REPRO_DEBUG_CHECKS", "") not in ("", "0", "false")
+
+
 @dataclass
 class EngineConfig:
     """Tunables of the engine and its CloudViews integration."""
@@ -59,6 +65,9 @@ class EngineConfig:
     overestimate: float = 2.0
     view_ttl_seconds: float = DEFAULT_VIEW_TTL
     cost_model: CostModel = field(default_factory=CostModel)
+    #: Run the soundness analyzer on every compile's post-match and
+    #: post-buildout plans, raising LintError on error findings.
+    debug_checks: bool = field(default_factory=_debug_checks_default)
 
 
 @dataclass
@@ -219,6 +228,7 @@ class ScopeEngine:
             overestimate=self.config.overestimate,
             acquire_view_lock=lambda sig: self.insights.acquire_view_lock(
                 sig, holder=job_id),
+            debug_checks=self.config.debug_checks,
             recorder=recorder,
             trace_id=job_id,
             compile_span=compile_span,

@@ -12,6 +12,7 @@ from repro.obs.events import (
     JOB_COMPILED,
     JOB_FINISHED,
     KILL_SWITCH_FLIPPED,
+    LINT_FINDING,
     LOCK_ACQUIRED,
     LOCK_DENIED,
     LOCK_RELEASED,
@@ -46,6 +47,7 @@ __all__ = [
     "JOB_COMPILED",
     "JOB_FINISHED",
     "KILL_SWITCH_FLIPPED",
+    "LINT_FINDING",
     "LOCK_ACQUIRED",
     "LOCK_DENIED",
     "LOCK_RELEASED",

@@ -36,11 +36,12 @@ KILL_SWITCH_FLIPPED = "killswitch.flip"
 JOB_COMPILED = "job.compiled"
 JOB_FINISHED = "job.finished"
 SELECTION_EPOCH = "selection.epoch"
+LINT_FINDING = "lint.finding"
 
 ALL_KINDS = (
     VIEW_CREATED, VIEW_SEALED, VIEW_REUSED, VIEW_INVALIDATED, VIEW_EVICTED,
     LOCK_ACQUIRED, LOCK_DENIED, LOCK_RELEASED, KILL_SWITCH_FLIPPED,
-    JOB_COMPILED, JOB_FINISHED, SELECTION_EPOCH,
+    JOB_COMPILED, JOB_FINISHED, SELECTION_EPOCH, LINT_FINDING,
 )
 
 

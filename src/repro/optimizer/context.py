@@ -54,6 +54,10 @@ class OptimizerContext:
     #: Callback to the insights service: returns True if the exclusive
     #: view-creation lock for a strict signature was acquired.
     acquire_view_lock: Callable[[str], bool] = lambda signature: True
+    #: Debug mode: re-run the soundness analyzer on the pipeline's own
+    #: output (post-match, post-buildout) and raise LintError on any
+    #: error finding.  See :mod:`repro.analysis.hooks`.
+    debug_checks: bool = False
     #: Flight recorder plus the trace correlation for this compilation:
     #: ``trace_id`` is the job id and ``compile_span`` the enclosing
     #: ``job.compile`` span, so matching/buildout spans nest under it.

@@ -30,7 +30,7 @@ excluded from reuse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.hashing import combine_unordered, short_tag, stable_hash
 from repro.plan.expressions import Expr, Literal, rewrite
@@ -109,44 +109,82 @@ def enumerate_subexpressions(plan: LogicalPlan,
 
     This is the unit of the paper's workload analysis ("4.3 billion
     sub-computations, referred to as query subexpressions").
+
+    Child hashes are memoized across the enumeration, so the whole pass is
+    O(n) in the number of operators instead of re-hashing every subtree
+    from scratch at each node; eligibility is likewise computed bottom-up
+    in the same pass.
     """
     result: List[Subexpression] = []
-    _enumerate(plan, salt, 0, result)
+    strict_memo: Dict[int, str] = {}
+    recurring_memo: Dict[int, str] = {}
+    _enumerate(plan, salt, 0, result, strict_memo, recurring_memo)
+    result.reverse()
     return result
 
 
 def _enumerate(plan: LogicalPlan, salt: str, depth: int,
-               out: List[Subexpression]) -> int:
-    heights = [_enumerate(child, salt, depth + 1, out)
-               for child in plan.children()]
-    height = 1 + max(heights) if heights else 0
-    out.insert(0, Subexpression(
+               out: List[Subexpression],
+               strict_memo: Dict[int, str],
+               recurring_memo: Dict[int, str]) -> Tuple[int, bool]:
+    height = 0
+    eligible = True
+    for child in plan.children():
+        child_height, child_eligible = _enumerate(
+            child, salt, depth + 1, out, strict_memo, recurring_memo)
+        height = max(height, child_height + 1)
+        eligible = eligible and child_eligible
+    if isinstance(plan, Process):
+        if not plan.deterministic:
+            eligible = False
+        elif plan.dependency_depth > MAX_DEPENDENCY_DEPTH:
+            eligible = False
+    recurring = _signature(plan, True, salt, recurring_memo)
+    out.append(Subexpression(
         plan=plan,
-        strict=strict_signature(plan, salt),
-        recurring=recurring_signature(plan, salt),
-        tag=signature_tag(recurring_signature(plan, salt)),
-        eligible=is_reuse_eligible(plan),
+        strict=_signature(plan, False, salt, strict_memo),
+        recurring=recurring,
+        tag=signature_tag(recurring),
+        eligible=eligible,
         depth=depth,
         height=height,
         operator=plan.op_label,
     ))
-    return height
+    return height, eligible
 
 
 # --------------------------------------------------------------------- #
 # hashing internals
 
 
-def _signature(plan: LogicalPlan, recurring: bool, salt: str) -> str:
-    kind = type(plan)
+def _signature(plan: LogicalPlan, recurring: bool, salt: str,
+               memo: Optional[Dict[int, str]] = None) -> str:
+    """Recursive signature with optional per-call memoization.
 
+    ``memo`` maps ``id(node)`` to its digest; it is only valid while the
+    plan objects it indexes stay alive, so callers either pass a dict
+    scoped to one traversal (:func:`enumerate_subexpressions`) or let each
+    top-level call allocate its own.
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(plan))
+    if cached is not None:
+        return cached
+    kind = type(plan)
     if kind is Spool:
         # A spool is transparent: the materialized view *is* its child.
-        return _signature(plan.child, recurring, salt)
+        digest = _signature(plan.child, recurring, salt, memo)
+    else:
+        children = [_signature(child, recurring, salt, memo)
+                    for child in plan.children()]
+        digest = _node_digest(plan, kind, recurring, salt, children)
+    memo[id(plan)] = digest
+    return digest
 
-    children = [_signature(child, recurring, salt)
-                for child in plan.children()]
 
+def _node_digest(plan: LogicalPlan, kind: type, recurring: bool, salt: str,
+                 children: List[str]) -> str:
     if kind is Scan:
         source = plan.dataset if recurring else (plan.stream_guid or plan.dataset)
         return stable_hash(salt, "scan", plan.dataset, source)

@@ -142,6 +142,14 @@ class ViewStore:
             return view
         return None
 
+    def get(self, signature: str) -> Optional[MaterializedView]:
+        """Raw metadata access, regardless of availability.
+
+        Used by the soundness analyzer to distinguish a ViewScan over a
+        missing view from one over an expired/unsealed/purged view.
+        """
+        return self._views.get(signature)
+
     def record_reuse(self, signature: str, reused_by: str = "") -> None:
         view = self._require(signature)
         view.reuse_count += 1

@@ -1,0 +1,46 @@
+"""Integration tests for ``repro lint``: the CI entry point must report
+zero error findings over the bundled workloads, in both output formats,
+with the documented exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_lint_cooking_json_is_clean(capsys):
+    exit_code = main(["lint", "--workload", "cooking", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["ok"] is True
+    assert payload["counts"]["error"] == 0
+    assert payload["plans_analyzed"] > 0
+    assert payload["rules_run"] >= 15
+    assert payload["findings"] == []
+
+
+def test_lint_tpcds_text_is_clean(capsys):
+    exit_code = main(["lint", "--workload", "tpcds", "--scale-rows", "200"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert out.strip().endswith("rules)")
+    assert out.startswith("ok:")
+
+
+def test_lint_suppress_flag_reaches_analyzer(capsys):
+    exit_code = main(["lint", "--workload", "cooking", "--format", "json",
+                      "--suppress", "sig-determinism",
+                      "--suppress", "sig-salt"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["rules_run"] == 14  # 16 registered minus 2 suppressed
+
+
+def test_lint_list_rules(capsys):
+    exit_code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    for expected in ("plan-project-arity", "sig-determinism",
+                     "reuse-view-liveness"):
+        assert expected in out

@@ -1,0 +1,170 @@
+"""Property-based tests for the soundness analyzer.
+
+Two directions:
+
+* the *positive* direction — every plan the builder produces (random SQL,
+  the TPC-DS suite, the generated cooking templates) is accepted by the
+  validator with zero findings, and satisfies the signature-soundness
+  properties (rebuild-determinism, recurring-mask invariance) directly;
+* the *negative* direction is covered by the unit tests in
+  ``tests/unit/test_analysis_rules.py``, which corrupt plans on purpose.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AnalysisContext, Analyzer
+from repro.analysis.signature_rules import probe_inputs, rebuild
+from repro.catalog import Catalog, schema_of
+from repro.common.rng import rng_for
+from repro.plan import PlanBuilder, normalize
+from repro.plan.logical import Union
+from repro.signatures import recurring_signature, strict_signature
+from repro.sql import parse
+from repro.workload import generate_workload
+from repro.workload.tpcds import TPCDS_QUERIES, tpcds_schemas
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+SALT = "scope-r1"
+
+
+def _catalog():
+    catalog = Catalog()
+    catalog.register(schema_of("Events", [
+        ("UserId", "int"), ("Value", "float"), ("Clicks", "int"),
+        ("Day", "str")]), 100)
+    catalog.register(schema_of("Users", [
+        ("Id", "int"), ("Segment", "str")]), 10)
+    return catalog
+
+
+CATALOG = _catalog()
+
+_NUMERIC_COLS = ["Value", "Clicks", "UserId"]
+_COMPARISONS = ["=", "<>", "<", "<=", ">", ">="]
+
+predicates = st.lists(
+    st.tuples(st.sampled_from(_NUMERIC_COLS),
+              st.sampled_from(_COMPARISONS),
+              st.integers(min_value=0, max_value=25)),
+    min_size=0, max_size=3)
+
+aggregates = st.sampled_from(
+    ["COUNT(*)", "SUM(Value)", "MIN(Clicks)", "MAX(Value)", "AVG(Clicks)"])
+
+group_keys = st.sampled_from(["UserId", "Day"])
+
+join_flags = st.booleans()
+
+
+def build_sql(key, agg, preds, joined, param_day):
+    where = " AND ".join(f"{col} {op} {value}"
+                         for col, op, value in preds)
+    if param_day:
+        clause = "Day = @runDate"
+        where = f"{where} AND {clause}" if where else clause
+    source = ("Events JOIN Users ON UserId = Id"
+              if joined else "Events")
+    sql = f"SELECT {key}, {agg} AS metric FROM {source}"
+    if where:
+        sql += f" WHERE {where}"
+    sql += f" GROUP BY {key}"
+    return sql
+
+
+def build_plan(key, agg, preds, joined, param_day):
+    params = {"runDate": "d0042"} if param_day else None
+    sql = build_sql(key, agg, preds, joined, param_day)
+    return normalize(PlanBuilder(CATALOG, params).build(parse(sql)))
+
+
+@given(key=group_keys, agg=aggregates, preds=predicates,
+       joined=join_flags, param_day=st.booleans())
+@SETTINGS
+def test_validator_accepts_every_built_plan(key, agg, preds, joined,
+                                            param_day):
+    plan = build_plan(key, agg, preds, joined, param_day)
+    report = Analyzer().analyze_plan(plan, AnalysisContext(salt=SALT))
+    assert report.ok, report.render_text()
+
+
+@given(key=group_keys, agg=aggregates, preds=predicates,
+       joined=join_flags, param_day=st.booleans())
+@SETTINGS
+def test_signatures_survive_structural_rebuild(key, agg, preds, joined,
+                                               param_day):
+    plan = build_plan(key, agg, preds, joined, param_day)
+    clone = rebuild(plan)
+    assert strict_signature(clone, SALT) == strict_signature(plan, SALT)
+    assert recurring_signature(clone, SALT) == \
+        recurring_signature(plan, SALT)
+
+
+@given(key=group_keys, agg=aggregates, preds=predicates,
+       joined=join_flags)
+@SETTINGS
+def test_recurring_mask_invariant_under_probe(key, agg, preds, joined):
+    plan = build_plan(key, agg, preds, joined, param_day=True)
+    probed, changed = probe_inputs(plan)
+    assert changed  # every plan scans at least one stream
+    assert recurring_signature(probed, SALT) == \
+        recurring_signature(plan, SALT)
+    assert strict_signature(probed, SALT) != strict_signature(plan, SALT)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_union_signature_is_input_order_invariant(seed):
+    rng = rng_for(seed, "analysis-properties", "union")
+    inputs = [build_plan("UserId", "SUM(Value)",
+                         [("Clicks", ">", i)], False, False)
+              for i in range(3)]
+    union = Union(tuple(inputs))
+    shuffled_inputs = list(inputs)
+    rng.shuffle(shuffled_inputs)
+    shuffled = Union(tuple(shuffled_inputs))
+    assert strict_signature(union, SALT) == \
+        strict_signature(shuffled, SALT)
+
+
+# --------------------------------------------------------------------- #
+# whole-workload acceptance: the bundled suites must lint clean
+
+
+def _tpcds_catalog():
+    catalog = Catalog()
+    for schema in tpcds_schemas():
+        catalog.register(schema, 100)
+    return catalog
+
+
+@pytest.mark.parametrize("name,sql", TPCDS_QUERIES)
+def test_validator_accepts_tpcds_query(name, sql):
+    catalog = _tpcds_catalog()
+    plan = normalize(PlanBuilder(catalog).build(parse(sql)))
+    report = Analyzer().analyze_plan(
+        plan, AnalysisContext(catalog=catalog, salt=SALT), job_id=name)
+    assert report.ok, report.render_text()
+
+
+def test_validator_accepts_pattern_workload_templates():
+    workload = generate_workload(seed=11, virtual_clusters=2,
+                                 templates_per_vc=6)
+    catalog = Catalog()
+    from repro.engine.engine import ScopeEngine
+
+    engine = ScopeEngine(catalog=catalog)
+    workload.install(engine)
+    analyzer = Analyzer()
+    plans = []
+    for instance in workload.jobs_for_day(0):
+        plan = normalize(PlanBuilder(
+            catalog, instance.params).build(parse(instance.template.sql)))
+        plans.append((instance.template.template_id, plan))
+    report = analyzer.analyze_workload(
+        plans, AnalysisContext(catalog=catalog, salt=SALT))
+    assert report.ok, report.render_text()
+    assert report.plans_analyzed == len(plans)

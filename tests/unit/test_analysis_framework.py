@@ -1,0 +1,207 @@
+"""Unit tests for the lint framework: findings, reports, the analyzer."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ACYCLICITY_RULE,
+    AnalysisContext,
+    Analyzer,
+    Finding,
+    Report,
+    Rule,
+    default_rules,
+    rule_catalog,
+    safe_walk,
+)
+from repro.obs import FlightRecorder
+from repro.obs import events as obs_events
+from repro.plan.expressions import ColumnRef
+from repro.plan.logical import Filter, Project, Scan
+
+
+def scan(name="Sales", columns=("A", "B")):
+    return Scan(name, tuple(columns), stream_guid=f"guid-{name}")
+
+
+# --------------------------------------------------------------------- #
+# findings and reports
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        Finding(rule="x", severity="fatal", message="boom")
+
+
+def test_finding_render_includes_job_and_path():
+    finding = Finding(rule="r", severity="warn", message="m",
+                      job_id="job-1", path="Project/Scan[0]")
+    text = finding.render()
+    assert "[job-1]" in text and "@Project/Scan[0]" in text
+
+
+def test_report_exit_code_and_ok():
+    report = Report([Finding(rule="r", severity="warn", message="w")])
+    assert report.ok and report.exit_code == 0
+    report.add(Finding(rule="r", severity="error", message="e"))
+    assert not report.ok and report.exit_code == 1
+
+
+def test_report_sorts_errors_first():
+    report = Report([
+        Finding(rule="b", severity="info", message="i"),
+        Finding(rule="a", severity="error", message="e"),
+        Finding(rule="c", severity="warn", message="w"),
+    ])
+    severities = [f.severity for f in report.sorted_findings()]
+    assert severities == ["error", "warn", "info"]
+
+
+def test_report_json_roundtrip():
+    report = Report([Finding(rule="r", severity="error", message="e",
+                             detail={"k": 1})])
+    report.plans_analyzed = 3
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is False
+    assert payload["counts"]["error"] == 1
+    assert payload["plans_analyzed"] == 3
+    assert payload["findings"][0]["detail"] == {"k": 1}
+
+
+def test_report_extend_merges_counts():
+    a = Report([Finding(rule="r", severity="info", message="1")])
+    a.plans_analyzed = 1
+    b = Report([Finding(rule="r", severity="info", message="2")])
+    b.plans_analyzed = 2
+    a.extend(b)
+    assert len(a.findings) == 2 and a.plans_analyzed == 3
+
+
+def test_render_text_has_summary_line():
+    report = Report()
+    report.plans_analyzed = 2
+    report.rules_run = 5
+    assert report.render_text().endswith(
+        "ok: 0 errors, 0 warnings, 0 info (2 plans, 5 rules)")
+
+
+# --------------------------------------------------------------------- #
+# safe_walk
+
+
+def test_safe_walk_visits_all_nodes_with_paths():
+    plan = Project(Filter(scan(), ColumnRef("A")), (ColumnRef("A"),), ("A",))
+    pairs, cycle = safe_walk(plan)
+    assert cycle is None
+    assert [p for _, p in pairs] == [
+        "Project", "Project/Filter[0]", "Project/Filter[0]/Scan[0]"]
+
+
+def test_safe_walk_detects_cycle():
+    inner = Filter(scan(), ColumnRef("A"))
+    outer = Filter(inner, ColumnRef("B"))
+    # Corrupt the tree into a cycle (bypasses frozen-dataclass checks).
+    object.__setattr__(inner, "child", outer)
+    pairs, cycle = safe_walk(outer)
+    assert cycle is not None
+    assert pairs  # visited the prefix before the back-edge
+
+
+def test_shared_subtrees_are_not_cycles():
+    shared = scan()
+    plan = Project(Filter(shared, ColumnRef("A")), (ColumnRef("A"),), ("A",))
+    _, cycle = safe_walk(plan)
+    assert cycle is None
+
+
+# --------------------------------------------------------------------- #
+# the analyzer
+
+
+class AlwaysFires(Rule):
+    name = "test-always"
+    severity = "warn"
+    description = "fires on every node"
+
+    def check_node(self, node, path, ctx):
+        yield self.finding("saw a node", path=path)
+
+
+class Crashes(Rule):
+    name = "test-crash"
+    description = "raises mid-check"
+
+    def check_plan(self, plan, ctx):
+        raise RuntimeError("kaboom")
+
+
+def test_analyzer_runs_rules_and_attaches_job_id():
+    analyzer = Analyzer(rules=[AlwaysFires()])
+    report = analyzer.analyze_plan(scan(), job_id="job-9")
+    assert report.findings and all(f.job_id == "job-9"
+                                   for f in report.findings)
+
+
+def test_analyzer_suppression_by_name():
+    analyzer = Analyzer(rules=[AlwaysFires()], suppress=["test-always"])
+    assert analyzer.analyze_plan(scan()).findings == []
+
+
+def test_rule_crash_becomes_error_finding():
+    report = Analyzer(rules=[Crashes()]).analyze_plan(scan())
+    assert not report.ok
+    assert "rule crashed" in report.errors[0].message
+    assert report.errors[0].rule == "test-crash"
+
+
+def test_cyclic_plan_short_circuits_all_rules():
+    inner = Filter(scan(), ColumnRef("A"))
+    outer = Filter(inner, ColumnRef("B"))
+    object.__setattr__(inner, "child", outer)
+    report = Analyzer(rules=[AlwaysFires()]).analyze_plan(outer)
+    assert [f.rule for f in report.findings] == [ACYCLICITY_RULE]
+    assert not report.ok
+
+
+def test_findings_flow_through_flight_recorder():
+    recorder = FlightRecorder()
+    analyzer = Analyzer(rules=[AlwaysFires()], recorder=recorder)
+    report = analyzer.analyze_plan(scan(), AnalysisContext(now=42.0),
+                                   job_id="job-1")
+    events = recorder.events.events(kind=obs_events.LINT_FINDING)
+    assert len(events) == len(report.findings)
+    assert events[0].at == 42.0 and events[0].job_id == "job-1"
+    assert events[0].attrs["rule"] == "test-always"
+    assert recorder.metrics.counters[
+        f"events.{obs_events.LINT_FINDING}"] == len(events)
+
+
+def test_analyze_workload_runs_workload_rules_once():
+    calls = []
+
+    class WorkloadRule(Rule):
+        name = "test-workload"
+        description = "counts invocations"
+
+        def check_workload(self, plans, ctx):
+            calls.append(len(plans))
+            return ()
+
+    analyzer = Analyzer(rules=[WorkloadRule()])
+    analyzer.analyze_workload([("a", scan()), ("b", scan("Other"))])
+    assert calls == [2]
+
+
+def test_default_rules_cover_all_three_packs():
+    names = {rule.name for rule in default_rules()}
+    assert any(name.startswith("plan-") for name in names)
+    assert any(name.startswith("sig-") for name in names)
+    assert any(name.startswith("reuse-") for name in names)
+    assert len(names) >= 15
+
+
+def test_rule_catalog_entries_are_documented():
+    for name, severity, description in rule_catalog():
+        assert name and description
+        assert severity in ("info", "warn", "error")

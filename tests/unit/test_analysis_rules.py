@@ -1,0 +1,417 @@
+"""Unit tests for the three rule packs, driven by deliberately corrupted
+plans.
+
+Operator constructors validate arity at build time, so every corruption
+here goes through ``object.__setattr__`` — exactly the class of damage
+(post-construction mutation, rewrite bugs) the analyzer exists to catch.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisContext, Analyzer, default_rules
+from repro.analysis.hooks import assert_stage_sound
+from repro.analysis.signature_rules import probe_inputs, structural_key
+from repro.catalog import Catalog, schema_of
+from repro.common.errors import LintError
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.view_buildout import view_path_for
+from repro.optimizer.view_matching import ViewMatch, view_scan_for
+from repro.plan.expressions import ColumnRef, FuncCall, Literal
+from repro.plan.logical import (
+    Filter,
+    GroupBy,
+    Join,
+    Process,
+    Project,
+    Scan,
+    Spool,
+    Union,
+    ViewScan,
+)
+from repro.signatures.signature import strict_signature
+from repro.storage.views import ViewStore
+
+
+def scan(name="Sales", columns=("A", "B"), guid="guid-1"):
+    return Scan(name, tuple(columns), stream_guid=guid)
+
+
+def analyze(plan, rules=None, **ctx_fields):
+    analyzer = Analyzer(rules=rules) if rules else Analyzer()
+    return analyzer.analyze_plan(plan, AnalysisContext(**ctx_fields))
+
+
+def rules_hit(report):
+    return {f.rule for f in report.findings}
+
+
+# --------------------------------------------------------------------- #
+# pack 1: plan validation
+
+
+def test_clean_plan_yields_no_findings():
+    plan = Project(Filter(scan(), ColumnRef("A")), (ColumnRef("A"),), ("A",))
+    report = analyze(plan, salt="v1")
+    assert report.ok and not report.findings
+
+
+def test_project_arity_corruption_detected():
+    plan = Project(scan(), (ColumnRef("A"), ColumnRef("B")), ("A", "B"))
+    object.__setattr__(plan, "names", ("A",))
+    report = analyze(plan, salt="v1")
+    assert "plan-project-arity" in rules_hit(report)
+    assert not report.ok
+
+
+def test_groupby_arity_corruption_detected():
+    plan = GroupBy(scan(), (ColumnRef("A"),),
+                   (FuncCall("SUM", (ColumnRef("B"),)),), ("A", "total"))
+    object.__setattr__(plan, "names", ("A", "total", "extra"))
+    report = analyze(plan, salt="v1")
+    assert "plan-groupby-arity" in rules_hit(report)
+
+
+def test_truncated_join_keys_detected():
+    left = scan("L", ("A", "B"), "guid-l")
+    right = scan("R", ("A", "C"), "guid-r")
+    plan = Join(left, right, (ColumnRef("A"), ColumnRef("B")),
+                (ColumnRef("A"), ColumnRef("C")))
+    object.__setattr__(plan, "right_keys", (ColumnRef("A"),))
+    report = analyze(plan, salt="v1")
+    findings = [f for f in report.errors if f.rule == "plan-join-keys"]
+    assert findings and "silently drop" in findings[0].message
+
+
+def test_join_keys_must_resolve_against_own_side():
+    left = scan("L", ("A",), "guid-l")
+    right = scan("R", ("C",), "guid-r")
+    plan = Join(left, right, (ColumnRef("A"),), (ColumnRef("C"),))
+    # Swap a right-side key in: "C" does not exist on the left child.
+    object.__setattr__(plan, "left_keys", (ColumnRef("C"),))
+    report = analyze(plan, salt="v1")
+    assert any(f.rule == "plan-join-keys" and "left" in f.message
+               for f in report.errors)
+
+
+def test_union_arity_mismatch_detected():
+    a = scan("L", ("A", "B"), "guid-l")
+    b = scan("R", ("A", "B"), "guid-r")
+    plan = Union((a, b))
+    object.__setattr__(plan, "inputs",
+                       (a, scan("R2", ("A",), "guid-r2")))
+    report = analyze(plan, salt="v1")
+    assert "plan-union-arity" in rules_hit(report)
+
+
+def test_unresolvable_filter_column_detected():
+    plan = Filter(scan(columns=("A", "B")), ColumnRef("Missing"))
+    report = analyze(plan, salt="v1")
+    findings = [f for f in report.errors
+                if f.rule == "plan-column-resolution"]
+    assert findings and "Missing" in findings[0].message
+
+
+def test_qualified_column_suffix_resolution_accepted():
+    plan = Filter(scan(columns=("t.A", "t.B")), ColumnRef("A"))
+    report = analyze(plan, salt="v1")
+    assert "plan-column-resolution" not in rules_hit(report)
+
+
+def test_viewscan_schema_drift_detected():
+    store = ViewStore()
+    definition = scan(columns=("A", "B"))
+    sig = strict_signature(definition, "v1")
+    store.begin_materialize(sig, view_path_for("vc", sig), ("A", "B"),
+                            "vc", now=0.0, definition=definition)
+    store.seal(sig, now=1.0, row_count=5, size_bytes=50)
+    node = ViewScan(signature=sig, view_path=view_path_for("vc", sig),
+                    columns=("A", "B"))
+    object.__setattr__(node, "columns", ("A", "Wrong"))
+    report = analyze(node, view_store=store, salt="v1", now=2.0)
+    assert "plan-viewscan-schema" in rules_hit(report)
+
+
+def test_view_scan_for_helper_agrees_with_store_schema():
+    store = ViewStore()
+    definition = scan(columns=("A", "B"))
+    sig = strict_signature(definition, "v1")
+    view = store.begin_materialize(sig, view_path_for("vc", sig),
+                                   ("A", "B"), "vc", now=0.0,
+                                   definition=definition,
+                                   recurring_signature="rec")
+    store.seal(sig, now=1.0, row_count=5, size_bytes=50)
+    node = view_scan_for(view, definition.schema)
+    report = analyze(node, view_store=store, salt="v1", now=2.0)
+    assert "plan-viewscan-schema" not in rules_hit(report)
+
+
+def test_spool_path_must_encode_signature():
+    child = scan()
+    sig = strict_signature(child, "v1")
+    plan = Spool(child, signature=sig, view_path="cloudviews/vc/other")
+    report = analyze(plan, salt="v1")
+    assert any(f.rule == "plan-spool-wellformed" and "encode" in f.message
+               for f in report.errors)
+
+
+def test_spool_wrapping_spool_detected():
+    child = scan()
+    sig = strict_signature(child, "v1")
+    inner = Spool(child, signature=sig,
+                  view_path=view_path_for("vc", sig))
+    outer = Spool(inner, signature=sig,
+                  view_path=view_path_for("vc", sig))
+    report = analyze(outer, salt="v1")
+    messages = [f.message for f in report.errors
+                if f.rule == "plan-spool-wellformed"]
+    assert any("wraps another Spool" in m for m in messages)
+    assert any("spooled twice" in m for m in messages)
+
+
+# --------------------------------------------------------------------- #
+# pack 2: signature soundness
+
+class FlakyOp(Scan):
+    """Scan subclass whose label changes per access: an op whose hash is
+    non-deterministic (falls into the unknown-operator hash branch)."""
+
+    _counter = [0]
+
+    @property
+    def op_label(self):
+        self._counter[0] += 1
+        return f"FlakyOp{self._counter[0]}"
+
+
+class OpaqueOp(Scan):
+    """Scan subclass hashed only by label: ignores its own fields, so its
+    signature both collides across instances and misses GUID rewrites."""
+
+
+def test_nondeterministic_hash_detected():
+    report = analyze(Filter(FlakyOp("S", ("A",), stream_guid="g"),
+                            ColumnRef("A")),
+                     salt="v1")
+    assert "sig-determinism" in rules_hit(report)
+
+
+def test_incomplete_recurring_mask_detected():
+    report = analyze(Filter(OpaqueOp("S", ("A",), stream_guid="g"),
+                            ColumnRef("A")),
+                     salt="v1")
+    findings = [f for f in report.errors if f.rule == "sig-recurring-mask"]
+    assert findings and "ignored" in findings[0].message
+
+
+def test_real_operators_pass_mask_and_determinism():
+    plan = Filter(scan(), Literal("d0001", param_name="runDate"))
+    report = analyze(plan, salt="v1")
+    assert {"sig-determinism", "sig-recurring-mask"}.isdisjoint(
+        rules_hit(report))
+
+
+def test_probe_inputs_rewrites_guids_and_params():
+    plan = Filter(scan(guid="g0"), Literal("d0001", param_name="runDate"))
+    probed, changed = probe_inputs(plan)
+    assert changed
+    assert probed.child.stream_guid != "g0"
+    assert probed.predicate.value != "d0001"
+    assert probed.predicate.param_name == "runDate"
+
+
+def test_collision_audit_flags_equal_hash_different_structure():
+    a = OpaqueOp("One", ("A",), stream_guid="g1")
+    b = OpaqueOp("Two", ("X", "Y"), stream_guid="g2")
+    assert strict_signature(a, "v1") == strict_signature(b, "v1")
+    assert structural_key(a) != structural_key(b)
+    analyzer = Analyzer()
+    report = analyzer.analyze_workload(
+        [("job-a", a), ("job-b", b)],
+        AnalysisContext(salt="v1"), include_plans=False)
+    assert "sig-collision" in rules_hit(report)
+
+
+def test_collision_audit_accepts_viewscan_standins():
+    definition = scan()
+    sig = strict_signature(definition, "v1")
+    standin = ViewScan(signature=sig, view_path=view_path_for("vc", sig),
+                       columns=definition.schema)
+    analyzer = Analyzer(suppress=["reuse-view-liveness",
+                                  "reuse-stale-view"])
+    report = analyzer.analyze_workload(
+        [("original", definition), ("reuser", standin)],
+        AnalysisContext(salt="v1"))
+    assert "sig-collision" not in rules_hit(report)
+
+
+def test_missing_salt_is_warned():
+    report = analyze(scan(), salt="")
+    warnings = [f for f in report.warnings if f.rule == "sig-salt"]
+    assert warnings
+
+
+def test_bare_viewscan_root_skips_salt_probe():
+    node = ViewScan(signature="s" * 64, view_path="cloudviews/vc/" + "s" * 64,
+                    columns=("A",))
+    analyzer = Analyzer(suppress=["reuse-view-liveness",
+                                  "reuse-stale-view"])
+    report = analyzer.analyze_plan(node, AnalysisContext(salt="v1"))
+    assert "sig-salt" not in rules_hit(report)
+
+
+def test_nondeterministic_process_under_spool_detected():
+    body = Process(scan(), "Udo", output_columns=("A",),
+                   deterministic=False)
+    sig = strict_signature(body, "v1")
+    plan = Spool(body, signature=sig, view_path=view_path_for("vc", sig))
+    report = analyze(plan, salt="v1")
+    findings = [f for f in report.errors if f.rule == "sig-eligibility"]
+    assert findings and "not safely reusable" in findings[0].message
+
+
+# --------------------------------------------------------------------- #
+# pack 3: reuse safety
+
+
+def _store_with_view(definition, salt="v1", ttl=100.0, now=0.0):
+    store = ViewStore(ttl_seconds=ttl)
+    sig = strict_signature(definition, salt)
+    store.begin_materialize(sig, view_path_for("vc", sig),
+                            definition.schema, "vc", now=now,
+                            definition=definition,
+                            recurring_signature="rec")
+    store.seal(sig, now=now, row_count=5, size_bytes=50)
+    return store, sig
+
+
+def test_viewscan_over_missing_view_detected():
+    node = ViewScan(signature="f" * 64, view_path="cloudviews/vc/" + "f" * 64,
+                    columns=("A",))
+    report = analyze(node, view_store=ViewStore(), salt="v1")
+    findings = [f for f in report.errors if f.rule == "reuse-view-liveness"]
+    assert findings and "no producer" in findings[0].message
+
+
+def test_viewscan_over_expired_view_detected():
+    definition = scan()
+    store, sig = _store_with_view(definition, ttl=10.0)
+    node = view_scan_for(store.get(sig), definition.schema)
+    fresh = analyze(node, view_store=store, salt="v1", now=5.0)
+    assert "reuse-view-liveness" not in rules_hit(fresh)
+    expired = analyze(node, view_store=store, salt="v1", now=50.0)
+    assert any(f.rule == "reuse-view-liveness" and "expired" in f.message
+               for f in expired.errors)
+
+
+def test_stale_view_guid_drift_detected():
+    catalog = Catalog()
+    catalog.register(schema_of("Sales", [("A", "int"), ("B", "int")]), 10)
+    definition = Scan("Sales", ("A", "B"),
+                      stream_guid=catalog.current_guid("Sales"))
+    store, sig = _store_with_view(definition)
+    node = view_scan_for(store.get(sig), definition.schema)
+    clean = analyze(node, catalog=catalog, view_store=store, salt="v1",
+                    now=1.0)
+    assert "reuse-stale-view" not in rules_hit(clean)
+    catalog.bulk_update("Sales")  # cooking run: new GUID
+    report = analyze(node, catalog=catalog, view_store=store, salt="v1",
+                     now=1.0)
+    assert any(f.rule == "reuse-stale-view" and "stale" in f.message
+               for f in report.errors)
+
+
+def test_store_audit_reports_overdue_eviction():
+    definition = scan()
+    store, _ = _store_with_view(definition, ttl=10.0)
+    analyzer = Analyzer()
+    report = analyzer.analyze_workload(
+        [], AnalysisContext(view_store=store, salt="v1", now=50.0))
+    assert any(f.rule == "reuse-store-audit" and "evicted" in f.message
+               for f in report.warnings)
+
+
+def test_cost_sanity_rejects_unprofitable_match():
+    match = ViewMatch(signature="a" * 64, view_path="p", view_rows=10,
+                      replaced_operators=3, cost_without=100.0,
+                      cost_with=250.0)
+    report = Analyzer().analyze_matches([match], AnalysisContext())
+    assert any(f.rule == "reuse-cost-sanity" and "cost gate" in f.message
+               for f in report.errors)
+
+
+def test_cost_sanity_accepts_profitable_match():
+    match = ViewMatch(signature="a" * 64, view_path="p", view_rows=10,
+                      replaced_operators=3, cost_without=100.0,
+                      cost_with=20.0)
+    report = Analyzer().analyze_matches([match], AnalysisContext())
+    assert "reuse-cost-sanity" not in rules_hit(report)
+
+
+# --------------------------------------------------------------------- #
+# the debug-mode pipeline hook
+
+
+def _optimizer_ctx():
+    catalog = Catalog()
+    catalog.register(schema_of("Sales", [("A", "int"), ("B", "int")]), 10)
+    return OptimizerContext(catalog=catalog, view_store=ViewStore(),
+                            salt="v1", trace_id="job-7", debug_checks=True)
+
+
+def test_assert_stage_sound_passes_clean_plan():
+    ctx = _optimizer_ctx()
+    plan = Project(scan(), (ColumnRef("A"),), ("A",))
+    report = assert_stage_sound(plan, ctx, "post-match", now=0.0)
+    assert report.ok
+
+
+def test_assert_stage_sound_raises_on_corruption():
+    ctx = _optimizer_ctx()
+    plan = Project(scan(), (ColumnRef("A"), ColumnRef("B")), ("A", "B"))
+    object.__setattr__(plan, "names", ("A",))
+    with pytest.raises(LintError) as excinfo:
+        assert_stage_sound(plan, ctx, "post-match", now=0.0)
+    assert "post-match" in str(excinfo.value)
+    assert excinfo.value.findings
+    assert excinfo.value.findings[0].rule == "plan-project-arity"
+
+
+def test_engine_debug_checks_flag_threads_from_config():
+    from repro.engine.engine import EngineConfig, ScopeEngine
+
+    engine = ScopeEngine(config=EngineConfig(debug_checks=True))
+    engine.register_table(
+        schema_of("Sales", [("A", "int"), ("B", "int")]),
+        [dict(A=i, B=i * 2) for i in range(5)])
+    run = engine.run_sql("SELECT A FROM Sales WHERE B > 2")
+    assert len(run.rows) == 3  # compile passed its own soundness gate
+
+
+def test_debug_checks_env_opt_in(monkeypatch):
+    from repro.engine.engine import EngineConfig
+
+    monkeypatch.delenv("REPRO_DEBUG_CHECKS", raising=False)
+    assert EngineConfig().debug_checks is False
+    monkeypatch.setenv("REPRO_DEBUG_CHECKS", "1")
+    assert EngineConfig().debug_checks is True
+    monkeypatch.setenv("REPRO_DEBUG_CHECKS", "0")
+    assert EngineConfig().debug_checks is False
+
+
+# --------------------------------------------------------------------- #
+# report output contract (acceptance: text + JSON, non-zero exit)
+
+
+def test_corrupted_plan_report_in_both_formats():
+    plan = Project(scan(), (ColumnRef("A"), ColumnRef("B")), ("A", "B"))
+    object.__setattr__(plan, "names", ("A",))
+    report = analyze(plan, salt="v1")
+    assert report.exit_code == 1
+    text = report.render_text()
+    assert "FAIL" in text and "plan-project-arity" in text
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is False
+    assert any(f["rule"] == "plan-project-arity"
+               for f in payload["findings"])

@@ -1,0 +1,72 @@
+"""Enumeration-cost tests: subexpression enumeration must be O(n).
+
+Before memoization, ``enumerate_subexpressions`` recomputed every child
+hash at every ancestor, so a chain of n operators cost O(n^2) hash
+invocations.  These tests pin the linear behavior by counting actual
+``stable_hash`` calls.
+"""
+
+import pytest
+
+import repro.signatures.signature as sig_module
+from repro.plan.expressions import ColumnRef
+from repro.plan.logical import Filter, Scan
+from repro.signatures import (
+    enumerate_subexpressions,
+    recurring_signature,
+    strict_signature,
+)
+
+
+def chain(depth):
+    plan = Scan("Sales", ("A", "B"), stream_guid="guid-1")
+    for index in range(depth):
+        plan = Filter(plan, ColumnRef("A" if index % 2 else "B"))
+    return plan
+
+
+@pytest.fixture
+def hash_counter(monkeypatch):
+    calls = []
+    real = sig_module.stable_hash
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(sig_module, "stable_hash", counting)
+    return calls
+
+
+def test_enumeration_hash_count_is_linear(hash_counter):
+    plan = chain(40)
+    nodes = sum(1 for _ in plan.walk())
+    enumerate_subexpressions(plan, salt="v1")
+    # One strict + one recurring digest per node, nothing recomputed.
+    assert len(hash_counter) == 2 * nodes
+
+
+def test_enumeration_matches_direct_signatures():
+    plan = chain(6)
+    subs = enumerate_subexpressions(plan, salt="v1")
+    for sub in subs:
+        assert sub.strict == strict_signature(sub.plan, "v1")
+        assert sub.recurring == recurring_signature(sub.plan, "v1")
+
+
+def test_enumeration_is_root_first():
+    plan = chain(4)
+    subs = enumerate_subexpressions(plan, salt="v1")
+    assert subs[0].plan is plan
+    assert subs[0].depth == 0
+    assert subs[-1].height == 0  # a leaf comes last
+    assert len(subs) == sum(1 for _ in plan.walk())
+
+
+def test_memoized_signature_equals_unmemoized():
+    plan = chain(8)
+    memo = {}
+    assert sig_module._signature(plan, False, "v1", memo) == \
+        strict_signature(plan, "v1")
+    # The memo now answers instantly for every subtree.
+    assert memo[id(plan)] == strict_signature(plan, "v1")
