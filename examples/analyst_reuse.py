@@ -9,7 +9,8 @@ later plans into Figure 4b's shape (CloudView scans replacing subplans).
 Run:  python examples/analyst_reuse.py
 """
 
-from repro import CloudViews, MultiLevelControls, SelectionPolicy, schema_of
+from repro import MultiLevelControls, SelectionPolicy, schema_of
+from repro.api import Session
 
 AVG_SALES_PER_CUSTOMER = (
     "SELECT CustomerId, AVG(Price * Quantity) "
@@ -51,10 +52,10 @@ def load_shared_datasets(engine) -> None:
 def main() -> None:
     controls = MultiLevelControls()
     controls.enable_vc("analytics")
-    cloudviews = CloudViews(controls=controls,
-                            policy=SelectionPolicy(min_reuses_per_epoch=0.0),
-                            selection_algorithm="bigsubs")
-    load_shared_datasets(cloudviews.engine)
+    session = Session(controls=controls,
+                      policy=SelectionPolicy(min_reuses_per_epoch=0.0),
+                      selection_algorithm="bigsubs")
+    load_shared_datasets(session.engine)
 
     analysts = [
         ("Ava",   "average sales per customer in Asia",
@@ -67,13 +68,13 @@ def main() -> None:
 
     print("== Figure 4a: independent plans with hidden overlap ==")
     for index, (name, insight, sql) in enumerate(analysts):
-        run = cloudviews.run(sql, virtual_cluster="analytics",
+        result = session.run(sql, virtual_cluster="analytics",
                              template_id=f"{name}-report", now=float(index))
         print(f"\n{name} asks for {insight}:")
-        print(run.compiled.plan.explain())
+        print(result.compiled.plan.explain())
 
     print("\n== CloudViews analyzes the workload ==")
-    selection = cloudviews.analyze_and_publish()
+    selection = session.analyze_and_publish()
     print(selection.summary())
     for candidate in selection.selected:
         print(f"  selected: {candidate.operator} subexpression, "
@@ -83,20 +84,21 @@ def main() -> None:
 
     print("\n== Figure 4b: the same reports, next run ==")
     for index, (name, insight, sql) in enumerate(analysts):
-        run = cloudviews.run(sql, virtual_cluster="analytics",
+        result = session.run(sql, virtual_cluster="analytics",
                              template_id=f"{name}-report",
                              now=100.0 + index)
         marker = []
-        if run.compiled.built_views:
-            marker.append(f"materializes {run.compiled.built_views} view(s)")
-        if run.compiled.reused_views:
-            marker.append(f"reuses {run.compiled.reused_views} view(s)")
+        if result.views_built:
+            marker.append(f"materializes {result.views_built} view(s)")
+        if result.views_reused:
+            marker.append(f"reuses {result.views_reused} view(s)")
         print(f"\n{name} ({' and '.join(marker) or 'no reuse'}):")
-        print(run.compiled.plan.explain())
+        print(result.compiled.plan.explain())
 
-    print(f"\n{cloudviews.views_created} views created, "
-          f"{cloudviews.views_reused} reuses, "
-          f"{cloudviews.storage_in_use(now=200.0):,} bytes of view storage")
+    print(f"\n{session.views_created} views created, "
+          f"{session.views_reused} reuses, "
+          f"{session.storage_in_use(now=200.0):,} bytes of view storage")
+    session.close()
 
 
 if __name__ == "__main__":

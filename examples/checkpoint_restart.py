@@ -10,7 +10,8 @@ them up and skips the recomputation.
 Run:  python examples/checkpoint_restart.py
 """
 
-from repro import ScopeEngine, schema_of
+from repro import schema_of
+from repro.engine import ScopeEngine
 from repro.extensions import CheckpointManager, FailureModel
 
 LONG_RUNNING_REPORT = (

@@ -8,7 +8,8 @@ without -- then prints the Table-1 impact summary.
 Run:  python examples/production_simulation.py
 """
 
-from repro import SimulationConfig, WorkloadSimulation, generate_workload
+from repro import generate_workload
+from repro.core import SimulationConfig, WorkloadSimulation
 from repro.telemetry import compare_telemetry
 from repro.workload import pipeline_summary
 

@@ -8,27 +8,28 @@ results.
 Run:  python examples/quickstart.py
 """
 
-from repro import CloudViews, MultiLevelControls, SelectionPolicy, schema_of
+from repro import MultiLevelControls, SelectionPolicy, schema_of
+from repro.api import Session
 
 
 def main() -> None:
-    # CloudViews wraps a SCOPE-like engine.  Enable it for our virtual
-    # cluster (the paper's opt-in deployment model).
+    # A Session wires the whole stack: SCOPE-like engine, insights
+    # service behind the fault-tolerant client, and the feedback loop.
+    # Enable reuse for our virtual cluster (the paper's opt-in model).
     controls = MultiLevelControls()
     controls.enable_vc("quickstart-vc")
-    cloudviews = CloudViews(
+    session = Session(
         controls=controls,
         policy=SelectionPolicy(min_reuses_per_epoch=0.0),
     )
-    engine = cloudviews.engine
 
     # A shared dataset, as produced by an enterprise data-cooking pipeline.
-    engine.register_table(
+    session.register_table(
         schema_of("PageViews", [
             ("UserId", "int"), ("Country", "str"), ("Seconds", "float")]),
         [dict(UserId=i % 50, Country=["US", "DE", "IN"][i % 3],
               Seconds=float(i % 120)) for i in range(600)])
-    engine.register_table(
+    session.register_table(
         schema_of("Users", [("UserId", "int"), ("Premium", "int")]),
         [dict(UserId=i, Premium=i % 4 == 0) for i in range(50)])
 
@@ -42,27 +43,27 @@ def main() -> None:
                 "GROUP BY UserId")
 
     print("== Round 1: CloudViews observes the workload ==")
-    first_a = cloudviews.run(report_a, virtual_cluster="quickstart-vc",
-                             template_id="report-a", now=0.0)
-    first_b = cloudviews.run(report_b, virtual_cluster="quickstart-vc",
-                             template_id="report-b", now=1.0)
-    print(f"report A: {len(first_a.rows)} rows, "
-          f"views built={first_a.compiled.built_views}")
-    print(f"report B: {len(first_b.rows)} rows, "
-          f"views built={first_b.compiled.built_views}")
+    first_a = session.run(report_a, virtual_cluster="quickstart-vc",
+                          template_id="report-a", now=0.0)
+    first_b = session.run(report_b, virtual_cluster="quickstart-vc",
+                          template_id="report-b", now=1.0)
+    print(f"report A: {first_a.row_count} rows, "
+          f"views built={first_a.views_built}")
+    print(f"report B: {first_b.row_count} rows, "
+          f"views built={first_b.views_built}")
 
     print("\n== Feedback loop: analyze history, select views, publish ==")
-    selection = cloudviews.analyze_and_publish()
+    selection = session.analyze_and_publish()
     print(selection.summary())
 
     print("\n== Round 2: materialize once, reuse everywhere ==")
-    second_a = cloudviews.run(report_a, virtual_cluster="quickstart-vc",
-                              template_id="report-a", now=10.0)
-    second_b = cloudviews.run(report_b, virtual_cluster="quickstart-vc",
-                              template_id="report-b", now=11.0)
-    print(f"report A: built={second_a.compiled.built_views} "
+    second_a = session.run(report_a, virtual_cluster="quickstart-vc",
+                           template_id="report-a", now=10.0)
+    second_b = session.run(report_b, virtual_cluster="quickstart-vc",
+                           template_id="report-b", now=11.0)
+    print(f"report A: built={second_a.views_built} "
           f"(pays the one-time materialization)")
-    print(f"report B: reused={second_b.compiled.reused_views} "
+    print(f"report B: reused={second_b.views_reused} "
           f"(scans the view instead of recomputing)")
     print("\nreport B's rewritten plan:")
     print(second_b.compiled.plan.explain())
@@ -70,19 +71,20 @@ def main() -> None:
     assert sorted(map(repr, second_a.rows)) == sorted(map(repr, first_a.rows))
     assert sorted(map(repr, second_b.rows)) == sorted(map(repr, first_b.rows))
     print("\nresults identical with and without reuse "
-          f"({cloudviews.views_created} views created, "
-          f"{cloudviews.views_reused} reuses so far)")
+          f"({session.views_created} views created, "
+          f"{session.views_reused} reuses so far)")
 
     print("\n== Inputs changed? Views invalidate automatically ==")
-    engine.bulk_update("PageViews", [
+    session.engine.bulk_update("PageViews", [
         dict(UserId=i % 50, Country=["US", "DE", "IN"][i % 3],
              Seconds=float(i % 60)) for i in range(700)], at=20.0)
-    third_b = cloudviews.run(report_b, virtual_cluster="quickstart-vc",
-                             template_id="report-b", now=21.0)
-    print(f"after bulk update: built={third_b.compiled.built_views} "
+    third_b = session.run(report_b, virtual_cluster="quickstart-vc",
+                          template_id="report-b", now=21.0)
+    print(f"after bulk update: built={third_b.views_built} "
           f"(views over the updated stream went stale and rebuild "
-          f"just-in-time), reused={third_b.compiled.reused_views} "
+          f"just-in-time), reused={third_b.views_reused} "
           f"(views over the unchanged Users stream remain valid)")
+    session.close()
 
 
 if __name__ == "__main__":

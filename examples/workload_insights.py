@@ -9,7 +9,8 @@ insights, and only then turns reuse on.
 Run:  python examples/workload_insights.py
 """
 
-from repro import ScopeEngine, SelectionPolicy, schema_of
+from repro import SelectionPolicy, schema_of
+from repro.engine import ScopeEngine
 from repro.extensions import (
     QueryEventListener,
     format_insights,

@@ -14,7 +14,8 @@ example walks through three of them over one simulated deployment:
 Run:  python examples/workload_optimization.py
 """
 
-from repro import SimulationConfig, WorkloadSimulation, generate_workload
+from repro import generate_workload
+from repro.core import SimulationConfig, WorkloadSimulation
 from repro.insights import (
     compile_with_annotations,
     export_current_annotations,

@@ -4,36 +4,81 @@ big-data engine.
 Reproduces *Production Experiences from Computation Reuse at Microsoft*
 (EDBT 2021).  The primary entry points:
 
-* :class:`repro.core.CloudViews` -- the reuse manager over a
-  :class:`repro.engine.ScopeEngine` (interactive use, examples);
-* :class:`repro.core.WorkloadSimulation` -- the full cluster-level
-  co-simulation behind the paper's Table 1 and Figures 6-7;
+* :class:`repro.api.Session` -- the unified facade: engine + insights
+  client + concurrent scheduler, every job returning a
+  :class:`repro.api.JobResult`;
+* :class:`repro.core.WorkloadSimulation` /
+  :class:`repro.scheduler.ConcurrentSimulation` -- the cluster-level and
+  wave-parallel co-simulations behind the paper's Table 1, Figures 6-7;
 * :mod:`repro.workload` -- the data-cooking workload generator and the
   denormalized subexpression repository;
 * :mod:`repro.extensions` -- the Section-5 prototypes (generalized reuse,
   concurrent joins, checkpointing, sampling, bit-vector filters,
   SparkCruise-style integration).
+
+The layered classes (:class:`~repro.engine.engine.ScopeEngine`,
+:class:`~repro.core.cloudviews.CloudViews`, ...) remain importable from
+their canonical modules; the top-level re-exports of those entry points
+are deprecated in favor of :mod:`repro.api`.
 """
 
+import warnings
+
+from repro.api import (
+    FaultInjector,
+    InsightsClientConfig,
+    JobRequest,
+    JobResult,
+    SchedulerConfig,
+    Session,
+)
 from repro.catalog import Catalog, TableSchema, schema_of
 from repro.core import (
-    CloudViews,
     DeploymentMode,
     MultiLevelControls,
     SimulationConfig,
     SimulationReport,
-    WorkloadSimulation,
 )
-from repro.engine import CompiledJob, EngineConfig, JobRun, ScopeEngine
+from repro.engine import EngineConfig
 from repro.selection import SelectionPolicy, SelectionResult
 from repro.workload import CookingWorkload, WorkloadRepository, generate_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Old top-level entry points, still importable but deprecated: the
+#: attribute access warns and forwards to the canonical module.
+_DEPRECATED = {
+    "CloudViews": ("repro.core.cloudviews", "CloudViews",
+                   "repro.api.Session"),
+    "ScopeEngine": ("repro.engine.engine", "ScopeEngine",
+                    "repro.api.Session (or repro.engine.ScopeEngine)"),
+    "WorkloadSimulation": ("repro.core.runner", "WorkloadSimulation",
+                           "repro.core.WorkloadSimulation"),
+    "CompiledJob": ("repro.engine.engine", "CompiledJob",
+                    "repro.api.JobResult (or repro.engine.CompiledJob)"),
+    "JobRun": ("repro.engine.engine", "JobRun",
+               "repro.api.JobResult (or repro.engine.JobRun)"),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        module_name, attr, replacement = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {name!r} from the top-level 'repro' package is "
+            f"deprecated; use {replacement}",
+            DeprecationWarning, stacklevel=2)
+        import importlib
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
+    "Session", "JobResult", "JobRequest", "EngineConfig", "SchedulerConfig",
+    "InsightsClientConfig", "FaultInjector",
     "Catalog", "TableSchema", "schema_of", "CloudViews", "DeploymentMode",
     "MultiLevelControls", "SimulationConfig", "SimulationReport",
-    "WorkloadSimulation", "CompiledJob", "EngineConfig", "JobRun",
+    "WorkloadSimulation", "CompiledJob", "JobRun",
     "ScopeEngine", "SelectionPolicy", "SelectionResult", "CookingWorkload",
     "WorkloadRepository", "generate_workload", "__version__",
 ]

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
 from repro.plan.logical import LogicalPlan
+from repro.common.errors import ConfigError
 
 #: Severity vocabulary, in increasing order of badness.
 SEVERITIES = ("info", "warn", "error")
@@ -52,7 +53,7 @@ class Finding:
 
     def __post_init__(self) -> None:
         if self.severity not in _RANK:
-            raise ValueError(f"unknown severity {self.severity!r}")
+            raise ConfigError(f"unknown severity {self.severity!r}")
 
     @property
     def rank(self) -> int:
@@ -128,7 +129,7 @@ REGISTRY: Dict[str, type] = {}
 def register(cls: type) -> type:
     """Class decorator adding a rule to the global registry."""
     if not cls.name:
-        raise ValueError(f"rule {cls.__name__} has no name")
+        raise ConfigError(f"rule {cls.__name__} has no name")
     REGISTRY[cls.name] = cls
     return cls
 

@@ -1,0 +1,213 @@
+"""The unified public facade: one import for the whole reuse stack.
+
+:class:`Session` wires the full Figure-5 deployment in one object --
+insights service behind a fault-tolerant :class:`InsightsClient`, a
+:class:`~repro.engine.engine.ScopeEngine` compiling against it, the
+workload repository, the selection feedback loop, and (for concurrent
+submission) a :class:`~repro.scheduler.scheduler.JobScheduler`::
+
+    from repro.api import Session
+
+    with Session() as session:
+        session.register_table(schema, rows)
+        result = session.run("SELECT region, COUNT(*) FROM events ...")
+        session.analyze_and_publish()
+        results = session.run_batch([sql_a, sql_b, sql_c], now=100.0)
+
+Every entry point returns the same :class:`JobResult` dataclass, whether
+the job ran serially, concurrently, or failed.  The older layered entry
+points (``repro.ScopeEngine``, ``repro.CloudViews``, ...) remain
+available from their canonical modules; the top-level ``repro``
+re-exports carry deprecation shims pointing here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.catalog.schema import TableSchema
+from repro.core.controls import MultiLevelControls
+from repro.core.runner import record_job_into
+from repro.engine.engine import EngineConfig, ScopeEngine
+from repro.insights.client import (
+    FaultInjector,
+    InsightsClient,
+    InsightsClientConfig,
+)
+from repro.insights.service import InsightsService
+from repro.plan.expressions import Row
+from repro.scheduler.results import JobResult
+from repro.scheduler.scheduler import (
+    JobRequest,
+    JobScheduler,
+    SchedulerConfig,
+)
+from repro.selection.candidates import build_candidates
+from repro.selection.policies import SelectionPolicy, SelectionResult
+from repro.selection.registry import run_selection, validate_selection_algorithm
+from repro.workload.repository import WorkloadRepository
+
+__all__ = [
+    "Session",
+    "JobResult", "JobRequest",
+    "EngineConfig", "SchedulerConfig", "InsightsClientConfig",
+    "FaultInjector", "SelectionPolicy", "MultiLevelControls",
+]
+
+
+class Session:
+    """Engine + insights + scheduler wiring with one result type.
+
+    All constructor arguments are keyword-only.  By default the engine
+    talks to its insights service through an :class:`InsightsClient`
+    (request batching, TTL cache, retries, circuit breaker); pass
+    ``client_config``/``fault_injector`` to tune or perturb that path.
+    """
+
+    def __init__(self, *,
+                 engine_config: Optional[EngineConfig] = None,
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 client_config: Optional[InsightsClientConfig] = None,
+                 fault_injector: Optional[FaultInjector] = None,
+                 controls: Optional[MultiLevelControls] = None,
+                 policy: Optional[SelectionPolicy] = None,
+                 selection_algorithm: str = "greedy",
+                 recorder=None):
+        validate_selection_algorithm(selection_algorithm)
+        self.service = InsightsService()
+        self.insights = InsightsClient(
+            self.service, config=client_config, injector=fault_injector)
+        self.engine = ScopeEngine(
+            insights=self.insights, config=engine_config)
+        self.controls = controls or MultiLevelControls()
+        self.policy = policy or SelectionPolicy()
+        self.selection_algorithm = selection_algorithm
+        self.scheduler = JobScheduler(
+            self.engine,
+            scheduler_config or SchedulerConfig(),
+            reuse_gate=self._reuse_gate,
+        )
+        self.repository = WorkloadRepository()
+        self.last_selection: Optional[SelectionResult] = None
+        self._full_work: Dict[str, float] = {}
+        self._template_counter = itertools.count(1)
+        if recorder is not None:
+            recorder.install(self.engine)
+            self.scheduler.recorder = recorder
+
+    # ------------------------------------------------------------------ #
+    # data management
+
+    def register_table(self, schema: TableSchema, rows: Sequence[Row],
+                       at: float = 0.0) -> None:
+        self.engine.register_table(schema, rows, at=at)
+
+    # ------------------------------------------------------------------ #
+    # running jobs
+
+    def _reuse_gate(self, virtual_cluster: str,
+                    job_override: Optional[bool] = None) -> bool:
+        return self.controls.enabled_for(
+            virtual_cluster,
+            job_override=job_override,
+            service_enabled=self.insights.enabled)
+
+    def run(self, sql: str, *,
+            params: Optional[Dict[str, object]] = None,
+            virtual_cluster: str = "default",
+            template_id: str = "",
+            pipeline_id: str = "",
+            reuse_override: Optional[bool] = None,
+            now: float = 0.0) -> JobResult:
+        """Compile and execute one job; always returns a :class:`JobResult`.
+
+        Unlike batch submission, a failure here raises (the caller asked
+        for this one job synchronously and should see the error).
+        """
+        reuse = self._reuse_gate(virtual_cluster, job_override=reuse_override)
+        run = self.engine.run_sql(
+            sql, params=params, virtual_cluster=virtual_cluster,
+            reuse_enabled=reuse, now=now)
+        self._ingest(run, template_id=template_id, pipeline_id=pipeline_id)
+        return JobResult.from_run(run)
+
+    def run_batch(self,
+                  jobs: Sequence[Union[str, JobRequest]],
+                  now: float = 0.0) -> List[JobResult]:
+        """Run many jobs concurrently on the scheduler; one wave.
+
+        Accepts plain SQL strings or :class:`JobRequest` objects.  Failed
+        jobs come back as ``JobResult`` with ``ok == False``; the batch
+        itself never raises.
+        """
+        requests = [job if isinstance(job, JobRequest) else JobRequest(sql=job)
+                    for job in jobs]
+        return self.scheduler.run_batch(
+            requests, now=now,
+            on_run=lambda run: self._ingest(run))
+
+    def _ingest(self, run, template_id: str = "",
+                pipeline_id: str = "") -> None:
+        record_job_into(
+            self.repository, run, run.compiled.submitted_at,
+            virtual_cluster=run.compiled.virtual_cluster,
+            template_id=(template_id
+                         or f"adhoc-{next(self._template_counter)}"),
+            pipeline_id=pipeline_id,
+            salt=self.engine.signature_salt,
+            full_work=self._full_work,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the feedback loop
+
+    def analyze_and_publish(self,
+                            window_start: Optional[float] = None,
+                            window_end: Optional[float] = None
+                            ) -> SelectionResult:
+        """Workload analysis -> view selection -> insights publication."""
+        repository = self.repository.for_runtime(self.engine.runtime_version)
+        if window_start is not None or window_end is not None:
+            repository = repository.window(
+                window_start if window_start is not None else float("-inf"),
+                window_end if window_end is not None else float("inf"))
+        candidates = build_candidates(repository)
+        result = run_selection(
+            self.selection_algorithm, repository, candidates, self.policy,
+            recorder=self.engine.recorder)
+        self.insights.publish(result.annotations())
+        self.last_selection = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # operational surface
+
+    @property
+    def views_created(self) -> int:
+        return self.engine.view_store.total_created
+
+    @property
+    def views_reused(self) -> int:
+        return self.engine.view_store.total_reused
+
+    def catalog_digest(self) -> str:
+        return self.engine.view_store.catalog_digest()
+
+    def evict_expired(self, now: float) -> int:
+        return len(self.engine.view_store.evict_expired(now))
+
+    def storage_in_use(self, now: float) -> int:
+        return self.engine.view_store.storage_in_use(now)
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.scheduler.__exit__(exc_type, exc, tb)

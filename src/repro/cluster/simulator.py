@@ -129,6 +129,7 @@ class ClusterSimulator:
         self._jobs: Dict[str, _JobState] = {}
         self.completed: List[JobTelemetry] = []
         self.now = 0.0
+        self._running = False
         #: Flight recorder; the simulator drives its simulated clock.
         self.recorder = recorder
 
@@ -152,16 +153,31 @@ class ClusterSimulator:
     # main loop
 
     def run(self) -> List[JobTelemetry]:
-        """Process every event; returns telemetry in completion order."""
-        while self._events:
-            time, kind, _, payload = heapq.heappop(self._events)
-            self.now = max(self.now, time)
-            self.recorder.advance_to(self.now)
-            if kind == _ARRIVAL:
-                self._handle_arrival(payload)
-            else:
-                self._handle_stage_done(payload)
-            self._schedule_waiting()
+        """Process every event; returns telemetry in completion order.
+
+        The discrete-event loop is strictly single-threaded (determinism
+        depends on total event ordering); the guard below catches the
+        misuse of driving one simulator from the concurrent scheduler's
+        worker pool.  Use :class:`repro.scheduler.ConcurrentSimulation`
+        for real-parallelism experiments instead.
+        """
+        if self._running:
+            raise SchedulingError(
+                "ClusterSimulator.run() is not reentrant: the event loop "
+                "is single-threaded by design")
+        self._running = True
+        try:
+            while self._events:
+                time, kind, _, payload = heapq.heappop(self._events)
+                self.now = max(self.now, time)
+                self.recorder.advance_to(self.now)
+                if kind == _ARRIVAL:
+                    self._handle_arrival(payload)
+                else:
+                    self._handle_stage_done(payload)
+                self._schedule_waiting()
+        finally:
+            self._running = False
         return self.completed
 
     # ------------------------------------------------------------------ #

@@ -8,6 +8,8 @@ The reproduction never reads wall-clock time: all components share a
 
 from __future__ import annotations
 
+from repro.common.errors import ConfigError
+
 SECONDS_PER_MINUTE = 60.0
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
@@ -28,7 +30,7 @@ class SimClock:
     def advance(self, seconds: float) -> float:
         """Move the clock forward by ``seconds`` (must be non-negative)."""
         if seconds < 0:
-            raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+            raise ConfigError(f"cannot advance clock by negative time {seconds!r}")
         self._now += seconds
         return self._now
 

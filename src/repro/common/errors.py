@@ -49,8 +49,37 @@ class StorageError(ReproError):
     """Raised by the simulated store (missing streams, sealed-view misuse)."""
 
 
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid configuration or argument values.
+
+    Subclasses :class:`ValueError` as well, so call sites that predate the
+    unified hierarchy (and external code catching ``ValueError``) keep
+    working while everything raised by the library remains a
+    :class:`ReproError`.
+    """
+
+
 class InsightsError(ReproError):
     """Raised by the insights service (lock conflicts, unknown tags)."""
+
+
+class InsightsTimeout(InsightsError):
+    """Raised when a serving-layer round trip exceeds the client timeout.
+
+    Only ever raised *internally* by :class:`repro.insights.client.
+    InsightsClient` attempts; after retries are exhausted the client
+    degrades the job to reuse-disabled compilation instead of
+    propagating, matching the paper's kill-switch behavior during
+    incidents (Section 4).
+    """
+
+
+class SchedulerError(ReproError):
+    """Raised by the concurrent job scheduler (misuse, shutdown races)."""
+
+
+class AdmissionError(SchedulerError):
+    """Raised when a job is rejected by the scheduler's admission limit."""
 
 
 class SelectionError(ReproError):

@@ -10,6 +10,8 @@ from __future__ import annotations
 import random
 from typing import List, Sequence, TypeVar
 
+from repro.common.errors import ConfigError
+
 T = TypeVar("T")
 
 
@@ -32,7 +34,7 @@ def zipf_weights(n: int, skew: float = 1.1) -> List[float]:
     which a Zipf law models well.
     """
     if n <= 0:
-        raise ValueError("n must be positive")
+        raise ConfigError("n must be positive")
     weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
     total = sum(weights)
     return [w / total for w in weights]

@@ -25,17 +25,10 @@ from typing import Dict, Optional
 from repro.core.controls import MultiLevelControls
 from repro.core.runner import record_job_into
 from repro.engine.engine import JobRun, ScopeEngine
-from repro.selection.bigsubs import bigsubs_select
 from repro.selection.candidates import build_candidates
-from repro.selection.greedy import greedy_select, per_vc_select
 from repro.selection.policies import SelectionPolicy, SelectionResult
+from repro.selection.registry import run_selection, validate_selection_algorithm
 from repro.workload.repository import WorkloadRepository
-
-_SELECTORS = {
-    "greedy": lambda repo, cands, policy: greedy_select(cands, policy),
-    "per_vc": lambda repo, cands, policy: per_vc_select(cands, policy),
-    "bigsubs": bigsubs_select,
-}
 
 
 class CloudViews:
@@ -46,9 +39,7 @@ class CloudViews:
                  controls: Optional[MultiLevelControls] = None,
                  policy: Optional[SelectionPolicy] = None,
                  selection_algorithm: str = "greedy"):
-        if selection_algorithm not in _SELECTORS:
-            raise ValueError(
-                f"unknown selection algorithm {selection_algorithm!r}")
+        validate_selection_algorithm(selection_algorithm)
         self.engine = engine or ScopeEngine()
         self.controls = controls or MultiLevelControls()
         self.policy = policy or SelectionPolicy()
@@ -106,8 +97,9 @@ class CloudViews:
                 window_start if window_start is not None else float("-inf"),
                 window_end if window_end is not None else float("inf"))
         candidates = build_candidates(repository)
-        selector = _SELECTORS[self.selection_algorithm]
-        result = selector(repository, candidates, self.policy)
+        result = run_selection(
+            self.selection_algorithm, repository, candidates, self.policy,
+            recorder=self.engine.recorder)
         self.engine.insights.publish(result.annotations())
         self.last_selection = result
         return result

@@ -41,10 +41,9 @@ from repro.engine.engine import JobRun, ScopeEngine
 from repro.optimizer.stats import CardinalityEstimator
 from repro.executor.executor import choose_join_algorithm
 from repro.plan.logical import Join, LogicalPlan, Scan, Spool, ViewScan
-from repro.selection.bigsubs import bigsubs_select
 from repro.selection.candidates import build_candidates
-from repro.selection.greedy import greedy_select, per_vc_select
 from repro.selection.policies import SelectionPolicy, SelectionResult
+from repro.selection.registry import run_selection, validate_selection_algorithm
 from repro.signatures.signature import (
     is_reuse_eligible,
     recurring_signature,
@@ -57,15 +56,6 @@ from repro.workload.repository import (
     SubexpressionRecord,
     WorkloadRepository,
 )
-
-_SELECTORS = {
-    "greedy": lambda repo, candidates, policy, recorder:
-        greedy_select(candidates, policy, recorder=recorder),
-    "per_vc": lambda repo, candidates, policy, recorder:
-        per_vc_select(candidates, policy, recorder=recorder),
-    "bigsubs": lambda repo, candidates, policy, recorder:
-        bigsubs_select(repo, candidates, policy, recorder=recorder),
-}
 
 
 @dataclass
@@ -159,9 +149,7 @@ class WorkloadSimulation:
         self.repository = WorkloadRepository()
         self.selections: List[SelectionResult] = []
         self._full_work: Dict[str, float] = {}
-        if config.selection_algorithm not in _SELECTORS:
-            raise ValueError(
-                f"unknown selection algorithm {config.selection_algorithm!r}")
+        validate_selection_algorithm(config.selection_algorithm)
 
     # ------------------------------------------------------------------ #
     # top level
@@ -222,9 +210,9 @@ class WorkloadSimulation:
         window_start = now - self.config.selection_window_days * SECONDS_PER_DAY
         window = self.repository.window(window_start, now)
         candidates = build_candidates(window)
-        selector = _SELECTORS[self.config.selection_algorithm]
-        result = selector(window, candidates, self.config.policy,
-                          self.recorder)
+        result = run_selection(
+            self.config.selection_algorithm, window, candidates,
+            self.config.policy, recorder=self.recorder)
         published = self.engine.insights.publish(result.annotations())
         self.selections.append(result)
         epoch_span.annotate("selected", len(result.selected))

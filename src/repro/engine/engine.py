@@ -56,7 +56,7 @@ def _debug_checks_default() -> bool:
     return os.environ.get("REPRO_DEBUG_CHECKS", "") not in ("", "0", "false")
 
 
-@dataclass
+@dataclass(kw_only=True)
 class EngineConfig:
     """Tunables of the engine and its CloudViews integration."""
 
@@ -82,6 +82,10 @@ class CompiledJob:
     params: Dict[str, object] = field(default_factory=dict)
     reuse_enabled: bool = True
     compile_latency: float = 0.0
+    #: True when the insights fetch fell back to the degradation path
+    #: (circuit breaker open / retries exhausted) and the job therefore
+    #: compiled with reuse disabled -- the paper's kill-switch behavior.
+    degraded: bool = False
     runtime_version: str = ""
     #: Simulated time the job was compiled (its arrival time in the
     #: co-simulation); monitoring orders jobs by it.
@@ -180,6 +184,15 @@ class ScopeEngine:
     def signature_salt(self) -> str:
         return self.config.runtime_version
 
+    def next_job_id(self) -> str:
+        """Draw the next job id.
+
+        The concurrent scheduler assigns ids at *submission* time (in
+        deterministic submission order) rather than at compile time, so a
+        parallel run labels jobs identically to a serial one.
+        """
+        return f"job-{next(self._job_counter)}"
+
     # ------------------------------------------------------------------ #
     # compilation
 
@@ -190,7 +203,7 @@ class ScopeEngine:
                 now: float = 0.0,
                 job_id: Optional[str] = None) -> CompiledJob:
         """Parse, bind, and optimize one job (Figure 5, query processing)."""
-        job_id = job_id or f"job-{next(self._job_counter)}"
+        job_id = job_id or self.next_job_id()
         recorder = self.recorder
         recorder.advance_to(now)
         compile_span = recorder.start_span(
@@ -206,14 +219,31 @@ class ScopeEngine:
 
         annotations = {}
         compile_latency = 0.0
+        degraded = False
         if reuse_enabled:
             fetch_span = recorder.start_span(
                 "insights.fetch", trace_id=job_id, at=now,
                 parent=compile_span, tags=len(tags))
-            annotations = self.insights.fetch_annotations(tags)
+            annotations = self.insights.fetch_annotations(tags, now=now)
             compile_latency = self.insights.last_fetch_latency
+            degraded = getattr(self.insights, "last_fetch_degraded", False)
             fetch_span.annotate("annotations", len(annotations))
+            if degraded:
+                fetch_span.annotate("degraded", True)
             fetch_span.finish(at=now + compile_latency)
+
+        acquired_locks: List[str] = []
+
+        def _acquire_lock(signature: str) -> bool:
+            ok = self.insights.acquire_view_lock(signature, holder=job_id)
+            if ok:
+                acquired_locks.append(signature)
+            return ok
+
+        def _release_lock(signature: str) -> None:
+            self.insights.release_view_lock(signature, holder=job_id)
+            if signature in acquired_locks:
+                acquired_locks.remove(signature)
 
         ctx = OptimizerContext(
             catalog=self.catalog,
@@ -224,16 +254,26 @@ class ScopeEngine:
             salt=self.signature_salt,
             virtual_cluster=virtual_cluster,
             max_views_per_job=self.config.max_views_per_job,
-            reuse_enabled=reuse_enabled and self.insights.enabled,
+            reuse_enabled=(reuse_enabled and self.insights.enabled
+                           and not degraded),
             overestimate=self.config.overestimate,
-            acquire_view_lock=lambda sig: self.insights.acquire_view_lock(
-                sig, holder=job_id),
+            acquire_view_lock=_acquire_lock,
+            release_view_lock=_release_lock,
             debug_checks=self.config.debug_checks,
             recorder=recorder,
             trace_id=job_id,
             compile_span=compile_span,
         )
-        optimized = optimize(plan, ctx, now=now)
+        try:
+            optimized = optimize(plan, ctx, now=now)
+        except ReproError:
+            # A failed compilation must not leave view locks (or unsealed
+            # view slots) behind, or every later job would be locked out
+            # of building those signatures.
+            for signature in acquired_locks:
+                self.view_store.abandon(signature)
+                self.insights.release_view_lock(signature, holder=job_id)
+            raise
         compile_span.annotate("views_reused", optimized.reused_views)
         compile_span.annotate("views_built", optimized.built_views)
         compile_span.finish(at=now + compile_latency)
@@ -244,6 +284,7 @@ class ScopeEngine:
                 obs_events.JOB_COMPILED, at=now, job_id=job_id,
                 virtual_cluster=virtual_cluster,
                 sql=sql,
+                degraded=degraded,
                 views_built=optimized.built_views,
                 views_reused=optimized.reused_views,
                 estimated_cost=optimized.estimated_cost,
@@ -260,6 +301,7 @@ class ScopeEngine:
             params=dict(params or {}),
             reuse_enabled=reuse_enabled,
             compile_latency=compile_latency,
+            degraded=degraded,
             runtime_version=self.runtime_version,
             submitted_at=now,
         )
@@ -312,6 +354,15 @@ class ScopeEngine:
         compiled = self.compile(sql, params, virtual_cluster,
                                 reuse_enabled, now)
         return self.execute(compiled, now=now)
+
+    def record_history(self, result: ExecutionResult) -> None:
+        """Ingest one execution's observed per-subexpression statistics.
+
+        Public so the concurrent scheduler can defer history recording to
+        its deterministic collection phase (``execute`` is then called
+        with ``record_history=False``).
+        """
+        self._record_history(result)
 
     # ------------------------------------------------------------------ #
     # internals

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.plan.expressions import Expr, Row
+from repro.common.errors import ConfigError
 
 
 class BloomFilter:
@@ -28,9 +29,9 @@ class BloomFilter:
 
     def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
         if expected_items <= 0:
-            raise ValueError("expected_items must be positive")
+            raise ConfigError("expected_items must be positive")
         if not 0.0 < false_positive_rate < 1.0:
-            raise ValueError("false_positive_rate must be in (0, 1)")
+            raise ConfigError("false_positive_rate must be in (0, 1)")
         ln2 = math.log(2.0)
         self.size = max(8, int(-expected_items
                                * math.log(false_positive_rate) / (ln2 * ln2)))

@@ -19,7 +19,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import StorageError
+from repro.common.errors import ConfigError, StorageError
 from repro.plan.expressions import Row
 from repro.storage.store import DataStore
 from repro.storage.views import ViewStore
@@ -55,7 +55,7 @@ class SampledViewCatalog:
                seed: int = 0) -> SampledView:
         """Materialize a Bernoulli sample of an available view."""
         if not 0.0 < rate <= 1.0:
-            raise ValueError(f"sample rate {rate!r} not in (0, 1]")
+            raise ConfigError(f"sample rate {rate!r} not in (0, 1]")
         view = self.views.lookup(signature, now)
         if view is None:
             raise StorageError(

@@ -1,10 +1,26 @@
-"""Insights service: annotation serving, view locks, usage metrics."""
+"""Insights service: annotation serving, view locks, usage metrics.
+
+Two handles are available to the engine:
+
+* :class:`InsightsService` -- the raw service (annotation index, serving
+  cache, lock table);
+* :class:`InsightsClient` -- the fault-tolerant client wrapping it with
+  request batching, a TTL'd local cache, bounded retries, and a circuit
+  breaker that degrades jobs to reuse-disabled compilation during
+  incidents (Section 4's kill-switch posture).
+"""
 
 from repro.insights.annotations_file import (
     compile_with_annotations,
     dump_annotations,
     export_current_annotations,
     load_annotations,
+)
+from repro.insights.client import (
+    CircuitBreaker,
+    FaultInjector,
+    InsightsClient,
+    InsightsClientConfig,
 )
 from repro.insights.service import (
     CACHED_ROUND_TRIP_SECONDS,
@@ -14,6 +30,7 @@ from repro.insights.service import (
 )
 
 __all__ = ["CACHED_ROUND_TRIP_SECONDS", "ROUND_TRIP_SECONDS",
-           "InsightsService", "UsageMetrics", "compile_with_annotations",
-           "dump_annotations", "export_current_annotations",
-           "load_annotations"]
+           "CircuitBreaker", "FaultInjector", "InsightsClient",
+           "InsightsClientConfig", "InsightsService", "UsageMetrics",
+           "compile_with_annotations", "dump_annotations",
+           "export_current_annotations", "load_annotations"]

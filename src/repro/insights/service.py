@@ -14,11 +14,20 @@ charge it, with a serving-layer cache that makes repeated fetches cheap.
 The service is also the uber kill switch: "insight service level control as
 the uber control for gate keeping and toggling during customer incidents"
 (Section 4, "Multi-level control").
+
+The service is shared mutable state between every concurrently compiling
+job, so all of its tables (annotation index, serving cache, lock table)
+and the :class:`UsageMetrics` counters are guarded by one reentrant lock.
+In particular :meth:`acquire_view_lock` is an atomic check-and-set: it is
+the real guard against duplicate view buildout when many jobs compile the
+same subexpression in parallel.  ``last_fetch_latency`` is thread-local:
+each compiling thread reads back the latency of *its own* most recent
+fetch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.common.errors import InsightsError
@@ -31,24 +40,56 @@ ROUND_TRIP_SECONDS = 0.015
 #: A cache hit in the serving layer is an order of magnitude cheaper.
 CACHED_ROUND_TRIP_SECONDS = 0.0015
 
+#: The counters every :class:`UsageMetrics` instance carries.
+_USAGE_FIELDS = (
+    "fetches", "cache_hits", "cache_misses", "annotations_served",
+    "locks_acquired", "locks_denied", "locks_released",
+    "views_reported_available",
+)
 
-@dataclass
+
 class UsageMetrics:
     """Operational counters surfaced to the service owners.
 
     ``fetches`` counts per-job annotation requests; ``cache_hits`` /
     ``cache_misses`` count per-tag lookups inside those requests (one
     fetch touches one serving-layer entry per tag).
+
+    Increments are lock-guarded so the counters stay exact under
+    concurrent compilation; reads are plain attribute access (ints are
+    replaced atomically, and every counter is monotonic).
     """
 
-    fetches: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    annotations_served: int = 0
-    locks_acquired: int = 0
-    locks_denied: int = 0
-    locks_released: int = 0
-    views_reported_available: int = 0
+    __slots__ = _USAGE_FIELDS + ("_lock",)
+
+    def __init__(self, **initial: int) -> None:
+        self._lock = threading.Lock()
+        for name in _USAGE_FIELDS:
+            setattr(self, name, int(initial.pop(name, 0)))
+        if initial:
+            raise InsightsError(
+                f"unknown usage counters {sorted(initial)!r}")
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Atomically bump one counter; returns the new value."""
+        with self._lock:
+            value = getattr(self, name) + amount
+            setattr(self, name, value)
+            return value
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {name: getattr(self, name) for name in _USAGE_FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UsageMetrics):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"UsageMetrics({body})"
 
 
 class InsightsService:
@@ -60,8 +101,12 @@ class InsightsService:
         self._by_recurring: Dict[str, Annotation] = {}
         self._locks: Dict[str, str] = {}  # strict signature -> holder job id
         self._cache: Set[str] = set()
+        self._mutex = threading.RLock()
+        self._fetch_state = threading.local()
+        #: Bumped on every :meth:`publish`; clients key their local caches
+        #: by it so a re-selection invalidates everything at once.
+        self.generation = 0
         self.metrics = UsageMetrics()
-        self.last_fetch_latency = 0.0
         #: Flight recorder (no-op unless a real one is installed).
         self.recorder = recorder
 
@@ -79,6 +124,27 @@ class InsightsService:
         self._enabled = value
 
     # ------------------------------------------------------------------ #
+    # per-thread fetch bookkeeping
+
+    @property
+    def last_fetch_latency(self) -> float:
+        """Simulated latency of the calling thread's most recent fetch."""
+        return getattr(self._fetch_state, "latency", 0.0)
+
+    @last_fetch_latency.setter
+    def last_fetch_latency(self, value: float) -> None:
+        self._fetch_state.latency = value
+
+    @property
+    def last_fetch_degraded(self) -> bool:
+        """Whether the calling thread's last fetch was degraded.
+
+        The plain service never degrades (it either answers or the kill
+        switch is off); the fault-tolerant client overrides this.
+        """
+        return False
+
+    # ------------------------------------------------------------------ #
     # publication (from workload analysis)
 
     def publish(self, annotations: Iterable[Annotation]) -> int:
@@ -88,88 +154,142 @@ class InsightsService:
         periodically over fresh workload windows, and stale selections must
         stop driving materialization (just-in-time views, Section 2.4).
         """
-        self._by_tag.clear()
-        self._by_recurring.clear()
-        self._cache.clear()
-        count = 0
-        for annotation in annotations:
-            self._by_tag.setdefault(annotation.tag, []).append(annotation)
-            self._by_recurring[annotation.recurring_signature] = annotation
-            count += 1
-        return count
+        with self._mutex:
+            self._by_tag.clear()
+            self._by_recurring.clear()
+            self._cache.clear()
+            count = 0
+            for annotation in annotations:
+                self._by_tag.setdefault(annotation.tag, []).append(annotation)
+                self._by_recurring[annotation.recurring_signature] = annotation
+                count += 1
+            self.generation += 1
+            return count
 
     def annotation_count(self) -> int:
-        return len(self._by_recurring)
+        with self._mutex:
+            return len(self._by_recurring)
 
     # ------------------------------------------------------------------ #
     # query-time serving
 
-    def fetch_annotations(self, tags: Iterable[str]) -> Dict[str, Annotation]:
+    def fetch_annotations(self, tags: Iterable[str],
+                          now: Optional[float] = None
+                          ) -> Dict[str, Annotation]:
         """Annotations for a job, keyed by recurring signature.
 
         Returns an empty mapping when the service-level kill switch is off,
-        which disables both matching and buildout downstream.
+        which disables both matching and buildout downstream.  ``now`` is
+        accepted (and ignored) so the service and the TTL-caching
+        :class:`~repro.insights.client.InsightsClient` are interchangeable
+        behind the engine.
         """
-        self.metrics.fetches += 1
+        self.metrics.inc("fetches")
         self.recorder.inc("insights.fetches")
         if not self.enabled:
             self.last_fetch_latency = 0.0
             return {}
         latency = 0.0
         result: Dict[str, Annotation] = {}
-        for tag in tags:
-            if tag in self._cache:
-                latency += CACHED_ROUND_TRIP_SECONDS
-                self.metrics.cache_hits += 1
-                self.recorder.inc("insights.cache_hits")
-            else:
-                latency += ROUND_TRIP_SECONDS
-                self._cache.add(tag)
-                self.metrics.cache_misses += 1
-                self.recorder.inc("insights.cache_misses")
-            for annotation in self._by_tag.get(tag, ()):
-                result[annotation.recurring_signature] = annotation
+        with self._mutex:
+            for tag in tags:
+                latency += self._charge_tag(tag)
+                for annotation in self._by_tag.get(tag, ()):
+                    result[annotation.recurring_signature] = annotation
         self.last_fetch_latency = latency
-        self.metrics.annotations_served += len(result)
+        self.metrics.inc("annotations_served", len(result))
         self.recorder.observe("insights.fetch.latency", latency)
         self.recorder.inc("insights.annotations_served", len(result))
         return result
+
+    def fetch_tag_annotations(self, tags: Iterable[str]
+                              ) -> Dict[str, List[Annotation]]:
+        """One serving-layer round trip per tag, results keyed *by tag*.
+
+        This is the batch-friendly surface used by the client: a single
+        call can carry the union of many concurrent jobs' tags, and the
+        per-tag slices let the client cache and distribute the results.
+        Does not count as a job-level fetch in :class:`UsageMetrics`
+        (the client accounts for those); the serving-layer cache counters
+        still apply.  Returns an empty mapping when the kill switch is
+        off.
+        """
+        if not self.enabled:
+            self.last_fetch_latency = 0.0
+            return {}
+        latency = 0.0
+        result: Dict[str, List[Annotation]] = {}
+        with self._mutex:
+            for tag in tags:
+                latency += self._charge_tag(tag)
+                result[tag] = list(self._by_tag.get(tag, ()))
+        self.last_fetch_latency = latency
+        self.recorder.observe("insights.fetch.latency", latency)
+        return result
+
+    def _charge_tag(self, tag: str) -> float:
+        """Serving-cache accounting for one tag lookup (mutex held)."""
+        if tag in self._cache:
+            self.metrics.inc("cache_hits")
+            self.recorder.inc("insights.cache_hits")
+            return CACHED_ROUND_TRIP_SECONDS
+        self._cache.add(tag)
+        self.metrics.inc("cache_misses")
+        self.recorder.inc("insights.cache_misses")
+        return ROUND_TRIP_SECONDS
 
     # ------------------------------------------------------------------ #
     # view locks
 
     def acquire_view_lock(self, strict_signature: str, holder: str) -> bool:
-        """Exclusive per-signature lock guarding view creation."""
+        """Exclusive per-signature lock guarding view creation.
+
+        Atomic check-and-set: under concurrent compilation exactly one of
+        the racing jobs wins the lock, which is what prevents duplicate
+        buildout of the same strict signature (Section 2.3).
+        """
         if not self.enabled:
             return False
-        current = self._locks.get(strict_signature)
-        if current is not None and current != holder:
-            self.metrics.locks_denied += 1
+        with self._mutex:
+            current = self._locks.get(strict_signature)
+            if current is not None and current != holder:
+                acquired = False
+            else:
+                self._locks[strict_signature] = holder
+                acquired = True
+        if not acquired:
+            self.metrics.inc("locks_denied")
             self.recorder.event(obs_events.LOCK_DENIED, job_id=holder,
                                 signature=strict_signature[:12],
                                 held_by=current)
             return False
-        self._locks[strict_signature] = holder
-        self.metrics.locks_acquired += 1
+        self.metrics.inc("locks_acquired")
         self.recorder.event(obs_events.LOCK_ACQUIRED, job_id=holder,
                             signature=strict_signature[:12])
         return True
 
     def release_view_lock(self, strict_signature: str, holder: str) -> None:
-        current = self._locks.get(strict_signature)
-        if current is None:
-            return
-        if current != holder:
-            raise InsightsError(
-                f"lock on {strict_signature[:8]} held by {current!r}, "
-                f"not {holder!r}")
-        del self._locks[strict_signature]
-        self.metrics.locks_released += 1
+        with self._mutex:
+            current = self._locks.get(strict_signature)
+            if current is None:
+                return
+            if current != holder:
+                raise InsightsError(
+                    f"lock on {strict_signature[:8]} held by {current!r}, "
+                    f"not {holder!r}")
+            del self._locks[strict_signature]
+        self.metrics.inc("locks_released")
         self.recorder.event(obs_events.LOCK_RELEASED, job_id=holder,
                             signature=strict_signature[:12])
 
     def lock_holder(self, strict_signature: str) -> Optional[str]:
-        return self._locks.get(strict_signature)
+        with self._mutex:
+            return self._locks.get(strict_signature)
+
+    def held_locks(self) -> Dict[str, str]:
+        """Snapshot of the lock table (tests and operator tooling)."""
+        with self._mutex:
+            return dict(self._locks)
 
     def report_view_available(self, strict_signature: str, holder: str) -> None:
         """Early-seal notification: release the lock and start reusing.
@@ -179,4 +299,4 @@ class InsightsService:
         creation lock and start reusing it wherever possible." (Section 2.3)
         """
         self.release_view_lock(strict_signature, holder)
-        self.metrics.views_reported_available += 1
+        self.metrics.inc("views_reported_available")

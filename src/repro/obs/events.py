@@ -35,13 +35,24 @@ LOCK_RELEASED = "lock.released"
 KILL_SWITCH_FLIPPED = "killswitch.flip"
 JOB_COMPILED = "job.compiled"
 JOB_FINISHED = "job.finished"
+JOB_FAILED = "job.failed"
 SELECTION_EPOCH = "selection.epoch"
 LINT_FINDING = "lint.finding"
+# Concurrent frontend: the fault-tolerant insights client's circuit
+# breaker and degradation path, plus scheduler wave boundaries.
+BREAKER_OPEN = "breaker.open"
+BREAKER_HALF_OPEN = "breaker.half_open"
+BREAKER_CLOSED = "breaker.closed"
+FETCH_DEGRADED = "insights.degraded"
+FETCH_RETRY = "insights.retry"
+SCHEDULER_WAVE = "scheduler.wave"
 
 ALL_KINDS = (
     VIEW_CREATED, VIEW_SEALED, VIEW_REUSED, VIEW_INVALIDATED, VIEW_EVICTED,
     LOCK_ACQUIRED, LOCK_DENIED, LOCK_RELEASED, KILL_SWITCH_FLIPPED,
-    JOB_COMPILED, JOB_FINISHED, SELECTION_EPOCH, LINT_FINDING,
+    JOB_COMPILED, JOB_FINISHED, JOB_FAILED, SELECTION_EPOCH, LINT_FINDING,
+    BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED,
+    FETCH_DEGRADED, FETCH_RETRY, SCHEDULER_WAVE,
 )
 
 

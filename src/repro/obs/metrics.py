@@ -20,6 +20,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
+from repro.common.errors import ConfigError
 
 #: The summary percentiles every histogram reports.
 SUMMARY_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
@@ -33,7 +34,7 @@ def percentile(values: Iterable[float], pct: float) -> float:
     """
     ordered = sorted(values)
     if not ordered:
-        raise ValueError("percentile of empty sequence")
+        raise ConfigError("percentile of empty sequence")
     if len(ordered) == 1:
         return ordered[0]
     rank = (pct / 100.0) * (len(ordered) - 1)

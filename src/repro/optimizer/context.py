@@ -54,6 +54,10 @@ class OptimizerContext:
     #: Callback to the insights service: returns True if the exclusive
     #: view-creation lock for a strict signature was acquired.
     acquire_view_lock: Callable[[str], bool] = lambda signature: True
+    #: Callback releasing a lock acquired during this compilation (used
+    #: when a post-lock re-check finds the view already handled by a
+    #: concurrent job).
+    release_view_lock: Callable[[str], None] = lambda signature: None
     #: Debug mode: re-run the soundness analyzer on the pipeline's own
     #: output (post-match, post-buildout) and raise LintError on any
     #: error finding.  See :mod:`repro.analysis.hooks`.

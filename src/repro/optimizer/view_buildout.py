@@ -89,6 +89,15 @@ def _build(plan: LogicalPlan, ctx: OptimizerContext, now: float,
     if not ctx.acquire_view_lock(strict):
         ctx.recorder.inc("views.buildout.lock_lost")
         return plan  # lost the race for the exclusive lock
+    # Concurrent compilation: the two unlocked checks above may be stale
+    # by the time the lock lands (another job sealed or abandoned the view
+    # in between).  The lock is the authority; re-check under it and walk
+    # away rather than double-registering the materialization.
+    if (ctx.view_store.lookup(strict, now) is not None
+            or ctx.view_store.is_materializing(strict, now)):
+        ctx.release_view_lock(strict)
+        ctx.recorder.inc("views.buildout.lock_lost")
+        return plan
 
     ctx.recorder.inc("views.buildout.proposed")
     path = view_path_for(ctx.virtual_cluster, strict)

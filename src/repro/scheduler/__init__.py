@@ -1,0 +1,19 @@
+"""Concurrent execution frontend: thread-pool scheduler + simulation."""
+
+from repro.scheduler.results import JobResult
+from repro.scheduler.scheduler import (
+    JobRequest,
+    JobScheduler,
+    SchedulerConfig,
+)
+from repro.scheduler.simulation import (
+    ConcurrentSimulation,
+    ConcurrentSimulationConfig,
+    ConcurrentSimulationReport,
+)
+
+__all__ = [
+    "JobResult", "JobRequest", "JobScheduler", "SchedulerConfig",
+    "ConcurrentSimulation", "ConcurrentSimulationConfig",
+    "ConcurrentSimulationReport",
+]

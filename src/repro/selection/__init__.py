@@ -9,11 +9,17 @@ from repro.selection.candidates import (
 )
 from repro.selection.greedy import greedy_select, per_vc_select
 from repro.selection.policies import SelectionPolicy, SelectionResult
+from repro.selection.registry import (
+    SELECTION_ALGORITHMS,
+    run_selection,
+    validate_selection_algorithm,
+)
 from repro.selection.schedule import apply_schedule_awareness, effective_frequency
 
 __all__ = [
     "bigsubs_select", "READ_COST_PER_ROW", "WRITE_COST_PER_ROW",
     "ReuseCandidate", "build_candidates", "greedy_select", "per_vc_select",
-    "SelectionPolicy", "SelectionResult", "apply_schedule_awareness",
-    "effective_frequency",
+    "SelectionPolicy", "SelectionResult", "SELECTION_ALGORITHMS",
+    "run_selection", "validate_selection_algorithm",
+    "apply_schedule_awareness", "effective_frequency",
 ]

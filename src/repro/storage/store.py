@@ -8,6 +8,7 @@ what the producing job wrote.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List
 
 from repro.common.errors import StorageError
@@ -15,10 +16,16 @@ from repro.plan.expressions import Row
 
 
 class DataStore:
-    """In-memory blob store: GUID/path -> list of rows."""
+    """In-memory blob store: GUID/path -> list of rows.
+
+    Concurrently executing jobs write distinct view paths and read shared
+    stream GUIDs; a lock keeps the blob map and the byte counters exact
+    under that parallelism.
+    """
 
     def __init__(self) -> None:
         self._blobs: Dict[str, List[Row]] = {}
+        self._mutex = threading.Lock()
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -26,29 +33,38 @@ class DataStore:
         """Store ``rows`` under ``key`` (overwrites: streams are immutable
         per GUID, so an overwrite only happens when re-materializing the
         same view path)."""
-        self._blobs[key] = list(rows)
-        self.bytes_written += row_bytes or _estimate_bytes(rows)
+        rows = list(rows)
+        size = row_bytes or _estimate_bytes(rows)
+        with self._mutex:
+            self._blobs[key] = rows
+            self.bytes_written += size
 
     def get(self, key: str) -> List[Row]:
-        try:
-            rows = self._blobs[key]
-        except KeyError:
-            raise StorageError(f"no data stored under key {key!r}") from None
-        self.bytes_read += _estimate_bytes(rows)
-        return rows
+        with self._mutex:
+            try:
+                rows = self._blobs[key]
+            except KeyError:
+                raise StorageError(
+                    f"no data stored under key {key!r}") from None
+            self.bytes_read += _estimate_bytes(rows)
+            return rows
 
     def has(self, key: str) -> bool:
-        return key in self._blobs
+        with self._mutex:
+            return key in self._blobs
 
     def delete(self, key: str) -> None:
-        self._blobs.pop(key, None)
+        with self._mutex:
+            self._blobs.pop(key, None)
 
     def size_of(self, key: str) -> int:
-        rows = self._blobs.get(key)
-        return 0 if rows is None else _estimate_bytes(rows)
+        with self._mutex:
+            rows = self._blobs.get(key)
+            return 0 if rows is None else _estimate_bytes(rows)
 
     def keys(self) -> List[str]:
-        return sorted(self._blobs)
+        with self._mutex:
+            return sorted(self._blobs)
 
 
 def _estimate_bytes(rows: List[Row]) -> int:

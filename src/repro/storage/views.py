@@ -13,10 +13,19 @@ production lifecycle:
   one week of creation, thus consuming a fixed amount of storage" (§3.1);
 * **purging**: users "can see the CloudViews-generated files ... and even
   purge views whenever necessary" (§2.4).
+
+The store is shared by every concurrently compiling and executing job, so
+all mutations and multi-view reads hold one reentrant lock.  The
+concurrency invariant (at most one materialization per strict signature)
+is *not* enforced here -- the insights service's exclusive view lock is
+the guard; this lock only keeps the catalog's own bookkeeping consistent.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -57,6 +66,25 @@ class MaterializedView:
             return False
         return now < self.expires_at
 
+    def catalog_record(self) -> Dict[str, object]:
+        """The view's identity-free canonical record (see
+        :meth:`ViewStore.catalog_digest`)."""
+        return {
+            "signature": self.signature,
+            "path": self.path,
+            "schema": list(self.schema),
+            "virtual_cluster": self.virtual_cluster,
+            "created_at": self.created_at,
+            "expires_at": self.expires_at,
+            "recurring": self.recurring_signature,
+            "rows": self.row_count,
+            "bytes": self.size_bytes,
+            "sealed": self.sealed,
+            "sealed_at": self.sealed_at,
+            "purged": self.purged,
+            "reuse_count": self.reuse_count,
+        }
+
 
 class ViewStore:
     """Catalog of materialized views, keyed by strict signature."""
@@ -65,6 +93,7 @@ class ViewStore:
                  recorder=NULL_RECORDER):
         self.ttl_seconds = ttl_seconds
         self._views: Dict[str, MaterializedView] = {}
+        self._mutex = threading.RLock()
         self.total_created = 0
         self.total_reused = 0
         self.total_expired = 0
@@ -81,22 +110,23 @@ class ViewStore:
                           recurring_signature: str = "",
                           definition: object = None) -> MaterializedView:
         """Register a view whose materialization has started (unsealed)."""
-        existing = self._views.get(signature)
-        if existing is not None and existing.available(now):
-            raise StorageError(
-                f"view {signature[:8]} already materialized and available")
-        ttl = self.ttl_seconds if ttl_seconds is None else ttl_seconds
-        view = MaterializedView(
-            signature=signature,
-            path=path,
-            schema=tuple(schema),
-            virtual_cluster=virtual_cluster,
-            created_at=now,
-            expires_at=now + ttl,
-            recurring_signature=recurring_signature,
-            definition=definition,
-        )
-        self._views[signature] = view
+        with self._mutex:
+            existing = self._views.get(signature)
+            if existing is not None and existing.available(now):
+                raise StorageError(
+                    f"view {signature[:8]} already materialized and available")
+            ttl = self.ttl_seconds if ttl_seconds is None else ttl_seconds
+            view = MaterializedView(
+                signature=signature,
+                path=path,
+                schema=tuple(schema),
+                virtual_cluster=virtual_cluster,
+                created_at=now,
+                expires_at=now + ttl,
+                recurring_signature=recurring_signature,
+                definition=definition,
+            )
+            self._views[signature] = view
         self.recorder.event(obs_events.VIEW_CREATED, at=now,
                             signature=signature[:12], path=path,
                             virtual_cluster=virtual_cluster)
@@ -105,12 +135,13 @@ class ViewStore:
     def seal(self, signature: str, now: float, row_count: int,
              size_bytes: int, sealed_by: str = "") -> MaterializedView:
         """Early-seal a view: it becomes visible for reuse immediately."""
-        view = self._require(signature)
-        view.sealed = True
-        view.sealed_at = now
-        view.row_count = row_count
-        view.size_bytes = size_bytes
-        self.total_created += 1
+        with self._mutex:
+            view = self._require(signature)
+            view.sealed = True
+            view.sealed_at = now
+            view.row_count = row_count
+            view.size_bytes = size_bytes
+            self.total_created += 1
         self.recorder.event(obs_events.VIEW_SEALED, at=now,
                             job_id=sealed_by,
                             signature=signature[:12], rows=row_count,
@@ -120,15 +151,18 @@ class ViewStore:
 
     def abandon(self, signature: str) -> None:
         """Forget an unsealed view (producing job failed before sealing)."""
-        view = self._views.get(signature)
-        if view is not None and not view.sealed:
+        with self._mutex:
+            view = self._views.get(signature)
+            if view is None or view.sealed:
+                return
             del self._views[signature]
-            self.recorder.event(obs_events.VIEW_INVALIDATED,
-                                signature=signature[:12], reason="abandoned")
+        self.recorder.event(obs_events.VIEW_INVALIDATED,
+                            signature=signature[:12], reason="abandoned")
 
     def purge(self, signature: str) -> None:
         """User-initiated deletion of a view's files."""
-        self._require(signature).purged = True
+        with self._mutex:
+            self._require(signature).purged = True
         self.recorder.event(obs_events.VIEW_INVALIDATED,
                             signature=signature[:12], reason="purged")
 
@@ -137,10 +171,11 @@ class ViewStore:
 
     def lookup(self, signature: str, now: float) -> Optional[MaterializedView]:
         """Return the view if it is available for reuse at ``now``."""
-        view = self._views.get(signature)
-        if view is not None and view.available(now):
-            return view
-        return None
+        with self._mutex:
+            view = self._views.get(signature)
+            if view is not None and view.available(now):
+                return view
+            return None
 
     def get(self, signature: str) -> Optional[MaterializedView]:
         """Raw metadata access, regardless of availability.
@@ -148,28 +183,34 @@ class ViewStore:
         Used by the soundness analyzer to distinguish a ViewScan over a
         missing view from one over an expired/unsealed/purged view.
         """
-        return self._views.get(signature)
+        with self._mutex:
+            return self._views.get(signature)
 
     def record_reuse(self, signature: str, reused_by: str = "") -> None:
-        view = self._require(signature)
-        view.reuse_count += 1
-        self.total_reused += 1
+        with self._mutex:
+            view = self._require(signature)
+            view.reuse_count += 1
+            self.total_reused += 1
+            reuse_count = view.reuse_count
         self.recorder.event(obs_events.VIEW_REUSED, job_id=reused_by,
                             signature=signature[:12],
-                            reuse_count=view.reuse_count)
+                            reuse_count=reuse_count)
 
     def is_materializing(self, signature: str, now: float) -> bool:
         """True while a producing job holds the view-in-progress slot."""
-        view = self._views.get(signature)
-        return view is not None and not view.sealed and not view.purged
+        with self._mutex:
+            view = self._views.get(signature)
+            return view is not None and not view.sealed and not view.purged
 
     def evict_expired(self, now: float) -> List[MaterializedView]:
         """Drop expired views; returns what was evicted."""
-        expired = [v for v in self._views.values()
-                   if v.sealed and now >= v.expires_at]
+        with self._mutex:
+            expired = [v for v in self._views.values()
+                       if v.sealed and now >= v.expires_at]
+            for view in expired:
+                del self._views[view.signature]
+                self.total_expired += 1
         for view in expired:
-            del self._views[view.signature]
-            self.total_expired += 1
             self.recorder.event(obs_events.VIEW_EVICTED, at=now,
                                 signature=view.signature[:12],
                                 reuse_count=view.reuse_count)
@@ -184,10 +225,29 @@ class ViewStore:
     def storage_in_use(self, now: float) -> int:
         """Bytes held by currently available views (the paper's "fixed
         amount of storage in the stable state")."""
-        return sum(v.size_bytes for v in self._views.values() if v.available(now))
+        with self._mutex:
+            return sum(v.size_bytes for v in self._views.values()
+                       if v.available(now))
 
     def views(self) -> List[MaterializedView]:
-        return list(self._views.values())
+        with self._mutex:
+            return list(self._views.values())
+
+    def catalog_digest(self) -> str:
+        """Deterministic fingerprint of the whole catalog.
+
+        Serializes every view's canonical record (sorted by signature;
+        producing-job identity is deliberately absent, since which of two
+        racing jobs won the build lock is schedule-dependent) and hashes
+        it.  Two runs produced the same catalog iff the digests match --
+        this is what ``repro simulate --workers N`` compares against a
+        serial run.
+        """
+        with self._mutex:
+            records = [self._views[s].catalog_record()
+                       for s in sorted(self._views)]
+        payload = json.dumps(records, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
     def _require(self, signature: str) -> MaterializedView:
         view = self._views.get(signature)

@@ -1,0 +1,255 @@
+"""Concurrency stress tests (run in CI via ``pytest -m stress``).
+
+N worker threads x M jobs hammering one engine, with and without
+injected serving-layer faults.  The invariants under test:
+
+* no duplicate view buildout for the same strict signature -- the
+  insights service's atomic lock table is the only guard;
+* a failed producing job releases its view locks, so later jobs can
+  build the signature;
+* the circuit breaker walks closed -> open -> half-open -> closed under
+  injected faults, and with >= 10% injected fetch failures every job
+  still completes -- degraded jobs compile without reuse, none error;
+* ``UsageMetrics`` counters stay exact and monotonic under threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.catalog import schema_of
+from repro.common.errors import ExecutionError
+from repro.engine import ScopeEngine
+from repro.executor import UdoRegistry
+from repro.insights import (
+    FaultInjector,
+    InsightsClient,
+    InsightsClientConfig,
+)
+from repro.insights.service import UsageMetrics
+from repro.optimizer.context import Annotation
+from repro.optimizer.rules import apply_rewrites
+from repro.plan import PlanBuilder, normalize
+from repro.plan.logical import Join
+from repro.scheduler import (
+    ConcurrentSimulation,
+    ConcurrentSimulationConfig,
+    JobRequest,
+    JobScheduler,
+    SchedulerConfig,
+)
+from repro.signatures import enumerate_subexpressions
+from repro.sql import parse
+from repro.workload.generator import generate_workload
+
+pytestmark = pytest.mark.stress
+
+SQL = ("SELECT name, SUM(v) AS s FROM T JOIN D "
+       "WHERE v > 1 GROUP BY name")
+FAILING_SQL = ("SELECT name, SUM(v) AS s FROM T JOIN D "
+               "WHERE v > 1 GROUP BY name PROCESS USING Explode")
+
+
+def build_engine(insights=None):
+    udos = UdoRegistry()
+
+    def explode(rows):
+        raise ExecutionError("injected container failure")
+
+    udos.register("Explode", explode)
+    engine = ScopeEngine(udos=udos, insights=insights)
+    engine.register_table(
+        schema_of("T", [("k", "int"), ("v", "float")]),
+        [dict(k=i % 6, v=float(i)) for i in range(60)])
+    engine.register_table(
+        schema_of("D", [("k", "int"), ("name", "str")]),
+        [dict(k=i, name=f"n{i}") for i in range(6)])
+    return engine
+
+
+def annotate_shared_join(engine, sql=SQL):
+    plan = normalize(apply_rewrites(
+        PlanBuilder(engine.catalog).build(parse(sql))))
+    subs = enumerate_subexpressions(plan, engine.signature_salt)
+    join = max((s for s in subs if isinstance(s.plan, Join)),
+               key=lambda s: s.height)
+    engine.insights.publish([Annotation(join.recurring, join.tag)])
+    return join
+
+
+class TestNoDuplicateBuildout:
+    def test_many_threads_one_buildout_per_signature(self):
+        engine = build_engine()
+        annotate_shared_join(engine)
+        with JobScheduler(engine, SchedulerConfig(workers=8)) as scheduler:
+            results = scheduler.run_batch(
+                [JobRequest(sql=SQL) for _ in range(40)], now=0.0)
+        assert all(r.ok for r in results)
+        # 40 concurrent jobs raced for one shared join: exactly one won
+        # the lock and materialized; everyone else was denied.
+        # (Losers usually see the open materialization slot and skip the
+        # lock entirely, so a lock *denial* is not guaranteed -- only
+        # single buildout is.)
+        assert sum(r.views_built for r in results) == 1
+        assert engine.view_store.total_created == 1
+        assert engine.insights.held_locks() == {}
+
+    def test_signature_materialized_once_across_waves(self):
+        engine = build_engine()
+        annotate_shared_join(engine)
+        with JobScheduler(engine, SchedulerConfig(workers=8)) as scheduler:
+            for wave in range(5):
+                results = scheduler.run_batch(
+                    [JobRequest(sql=SQL) for _ in range(8)],
+                    now=float(wave))
+                assert all(r.ok for r in results)
+        # Built in wave 0, reused by every later wave.
+        assert engine.view_store.total_created == 1
+        assert engine.view_store.total_reused >= 8 * 4
+
+    def test_failed_producer_releases_lock_for_next_wave(self):
+        engine = build_engine()
+        join = annotate_shared_join(engine, sql=FAILING_SQL)
+        with JobScheduler(engine, SchedulerConfig(workers=4)) as scheduler:
+            crashed = scheduler.run_batch(
+                [JobRequest(sql=FAILING_SQL) for _ in range(4)], now=0.0)
+            assert all(not r.ok for r in crashed)
+            assert engine.insights.lock_holder(join.strict) is None
+            # The same fragment is buildable by a healthy job now.
+            healthy = scheduler.run_batch(
+                [JobRequest(sql=SQL)], now=1.0)
+        assert healthy[0].ok
+        assert healthy[0].views_built == 1
+
+
+class TestBreakerUnderFaults:
+    def test_breaker_cycles_under_concurrent_faulty_fetches(self):
+        config = InsightsClientConfig(
+            max_retries=0, breaker_failure_threshold=5,
+            breaker_cooldown_fetches=10)
+        injector = FaultInjector(error_rate=1.0)
+        client = InsightsClient(config=config, injector=injector)
+        client.publish([Annotation("rec-1", "tag-1")])
+        errors = []
+
+        def hammer(count):
+            try:
+                for _ in range(count):
+                    client.fetch_annotations(["tag-1"], now=0.0)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(30,))
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, "degradation must never raise into the caller"
+        assert client.breaker.state == "open"
+        assert "open" in client.breaker.transitions
+        # Heal the service and drain the cooldown: closed again.
+        injector.error_rate = 0.0
+        for _ in range(config.breaker_cooldown_fetches + 1):
+            client.fetch_annotations(["tag-1"], now=0.0)
+        assert client.breaker.state == "closed"
+        assert client.breaker.transitions[-2:] == ["half-open", "closed"]
+
+    def test_ten_percent_fetch_failures_zero_job_failures(self):
+        # >= 10% of serving round trips fail; with retries disabled every
+        # fault degrades its job.  Jobs must all succeed anyway.
+        workload = generate_workload(seed=11)
+        simulation = ConcurrentSimulation(
+            workload,
+            ConcurrentSimulationConfig(days=2, workers=8),
+            client_config=InsightsClientConfig(max_retries=0),
+            fault_injector=FaultInjector(drop_rate=0.08, error_rate=0.07))
+        report = simulation.run()
+        assert report.jobs > 50
+        assert report.failures == 0
+        assert report.degraded_jobs > 0
+        client = simulation.engine.insights
+        assert client.degraded_fetches > 0
+
+    def test_degraded_jobs_match_baseline_rows(self):
+        # A degraded compile must still return correct results -- it just
+        # skips reuse.  Compare each faulty-run job against a clean run.
+        def outcomes(injector):
+            engine = build_engine(insights=InsightsClient(
+                config=InsightsClientConfig(max_retries=0, seed=3),
+                injector=injector))
+            annotate_shared_join(engine)
+            with JobScheduler(engine,
+                              SchedulerConfig(workers=8)) as scheduler:
+                results = []
+                for wave in range(4):
+                    results += scheduler.run_batch(
+                        [JobRequest(sql=SQL) for _ in range(6)],
+                        now=float(wave))
+            return results
+
+        faulty = outcomes(FaultInjector(drop_rate=0.2, seed=5))
+        clean = outcomes(None)
+        assert all(r.ok for r in faulty)
+        assert any(r.degraded for r in faulty)
+        expected = sorted(map(repr, clean[0].rows))
+        for result in faulty:
+            assert sorted(map(repr, result.rows)) == expected
+
+
+class TestUsageMetricsUnderThreads:
+    def test_counters_exact_and_monotonic(self):
+        metrics = UsageMetrics()
+        threads_n, per_thread = 8, 2000
+        snapshots = []
+        stop = threading.Event()
+
+        def bump():
+            for _ in range(per_thread):
+                metrics.inc("fetches")
+                metrics.inc("annotations_served", 3)
+
+        def sample():
+            while not stop.is_set():
+                snapshots.append(metrics.snapshot())
+
+        sampler = threading.Thread(target=sample)
+        workers = [threading.Thread(target=bump) for _ in range(threads_n)]
+        sampler.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        sampler.join()
+
+        assert metrics.fetches == threads_n * per_thread
+        assert metrics.annotations_served == threads_n * per_thread * 3
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            for name, value in earlier.items():
+                assert later[name] >= value, f"{name} went backwards"
+
+    def test_service_metrics_monotonic_under_concurrent_fetches(self):
+        engine = build_engine()
+        annotate_shared_join(engine)
+        snapshots = []
+        stop = threading.Event()
+
+        def sample():
+            while not stop.is_set():
+                snapshots.append(engine.insights.metrics.snapshot())
+
+        sampler = threading.Thread(target=sample)
+        sampler.start()
+        with JobScheduler(engine, SchedulerConfig(workers=8)) as scheduler:
+            for wave in range(4):
+                scheduler.run_batch(
+                    [JobRequest(sql=SQL) for _ in range(10)],
+                    now=float(wave))
+        stop.set()
+        sampler.join()
+
+        assert engine.insights.metrics.fetches == 40
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            for name, value in earlier.items():
+                assert later[name] >= value, f"{name} went backwards"

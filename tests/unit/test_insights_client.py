@@ -1,0 +1,259 @@
+"""Unit tests for the fault-tolerant insights client.
+
+Covers the TTL'd local cache, retries with backoff, the circuit
+breaker's full closed -> open -> half-open -> closed cycle, fault
+injection, and the degradation contract the engine relies on (a failed
+fetch returns an empty mapping and flags ``last_fetch_degraded`` instead
+of raising).
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError, InsightsTimeout, ReproError
+from repro.insights import (
+    CircuitBreaker,
+    FaultInjector,
+    InsightsClient,
+    InsightsClientConfig,
+    InsightsService,
+)
+from repro.optimizer.context import Annotation
+
+
+def annotation(tag="tag-1", recurring="rec-1"):
+    return Annotation(recurring_signature=recurring, tag=tag,
+                      expected_rows=10, expected_bytes=100)
+
+
+def publish_one(target, tag="tag-1", recurring="rec-1"):
+    target.publish([annotation(tag=tag, recurring=recurring)])
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        InsightsClientConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(timeout_seconds=0.0),
+        dict(timeout_seconds=-1.0),
+        dict(max_retries=-1),
+        dict(breaker_failure_threshold=0),
+        dict(breaker_cooldown_fetches=0),
+    ])
+    def test_bad_values_raise_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            InsightsClientConfig(**kwargs)
+
+    def test_config_error_is_repro_and_value_error(self):
+        with pytest.raises(ReproError):
+            InsightsClientConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            InsightsClientConfig(max_retries=-1)
+
+    def test_injector_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(drop_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultInjector(error_rate=-0.1)
+
+    def test_insights_timeout_is_repro_error(self):
+        assert issubclass(InsightsTimeout, ReproError)
+
+
+class TestServingPath:
+    def test_fetch_matches_raw_service(self):
+        service = InsightsService()
+        client = InsightsClient(service)
+        publish_one(client)
+        direct = InsightsService()
+        publish_one(direct)
+        assert set(client.fetch_annotations(["tag-1", "ghost"])) == \
+            set(direct.fetch_annotations(["tag-1", "ghost"]))
+
+    def test_local_cache_hits_skip_the_service(self):
+        client = InsightsClient()
+        publish_one(client)
+        client.fetch_annotations(["tag-1"], now=0.0)
+        before = client.metrics.snapshot()
+        result = client.fetch_annotations(["tag-1"], now=1.0)
+        after = client.metrics.snapshot()
+        assert result["rec-1"].tag == "tag-1"
+        assert client.cache_hits == 1
+        # Per-job fetches still counted; no new serving-layer tag lookups.
+        assert after["fetches"] == before["fetches"] + 1
+        assert after["cache_misses"] == before["cache_misses"]
+        assert after["cache_hits"] == before["cache_hits"]
+
+    def test_cache_expires_after_ttl(self):
+        client = InsightsClient(
+            config=InsightsClientConfig(cache_ttl_seconds=10.0))
+        publish_one(client)
+        client.fetch_annotations(["tag-1"], now=0.0)
+        client.fetch_annotations(["tag-1"], now=11.0)
+        assert client.cache_misses == 2
+        assert client.cache_hits == 0
+
+    def test_publish_invalidates_cache(self):
+        client = InsightsClient()
+        publish_one(client)
+        client.fetch_annotations(["tag-1"], now=0.0)
+        publish_one(client, recurring="rec-2")
+        result = client.fetch_annotations(["tag-1"], now=0.0)
+        assert set(result) == {"rec-2"}
+        assert client.cache_misses == 2
+
+    def test_kill_switch_returns_empty_not_degraded(self):
+        client = InsightsClient()
+        publish_one(client)
+        client.enabled = False
+        assert client.fetch_annotations(["tag-1"]) == {}
+        assert client.last_fetch_degraded is False
+
+    def test_latency_accounting_is_simulated(self):
+        client = InsightsClient()
+        publish_one(client)
+        client.fetch_annotations(["tag-1"], now=0.0)
+        assert client.last_fetch_latency == pytest.approx(0.015)
+
+
+class TestRetriesAndDegradation:
+    def test_injected_errors_retry_then_succeed(self):
+        # error_rate=1.0 for the first roll only: use a counting injector.
+        class OneShot(FaultInjector):
+            def __init__(self):
+                super().__init__(error_rate=1.0)
+                self.rolls = 0
+
+            def roll(self):
+                self.rolls += 1
+                if self.rolls == 1:
+                    return "error", 0.0
+                return "ok", 0.0
+
+        client = InsightsClient(injector=OneShot())
+        publish_one(client)
+        result = client.fetch_annotations(["tag-1"], now=0.0)
+        assert "rec-1" in result
+        assert client.retries == 1
+        assert client.last_fetch_degraded is False
+        # Latency charges the failed attempt's timeout plus backoff.
+        assert client.last_fetch_latency > client.config.timeout_seconds
+
+    def test_exhausted_retries_degrade_instead_of_raising(self):
+        client = InsightsClient(
+            config=InsightsClientConfig(max_retries=1),
+            injector=FaultInjector(error_rate=1.0))
+        publish_one(client)
+        assert client.fetch_annotations(["tag-1"], now=0.0) == {}
+        assert client.last_fetch_degraded is True
+        assert client.degraded_fetches == 1
+
+    def test_degraded_flag_resets_on_next_success(self):
+        injector = FaultInjector(error_rate=1.0)
+        client = InsightsClient(
+            config=InsightsClientConfig(max_retries=0), injector=injector)
+        publish_one(client)
+        client.fetch_annotations(["tag-1"], now=0.0)
+        assert client.last_fetch_degraded is True
+        injector.error_rate = 0.0
+        client.fetch_annotations(["tag-1"], now=0.0)
+        assert client.last_fetch_degraded is False
+
+    def test_slow_round_trip_times_out(self):
+        client = InsightsClient(
+            config=InsightsClientConfig(max_retries=0),
+            injector=FaultInjector(delay_seconds=1.0))
+        publish_one(client)
+        assert client.fetch_annotations(["tag-1"], now=0.0) == {}
+        assert client.last_fetch_degraded is True
+
+    def test_backoff_grows_exponentially(self):
+        config = InsightsClientConfig(
+            backoff_base_seconds=0.010, backoff_multiplier=2.0,
+            backoff_jitter=0.0)
+        client = InsightsClient(config=config)
+        assert client._backoff(0) == pytest.approx(0.010)
+        assert client._backoff(1) == pytest.approx(0.020)
+        assert client._backoff(2) == pytest.approx(0.040)
+
+
+class TestCircuitBreaker:
+    def config(self, **kwargs):
+        defaults = dict(max_retries=0, breaker_failure_threshold=3,
+                        breaker_cooldown_fetches=4, breaker_probes_to_close=1)
+        defaults.update(kwargs)
+        return InsightsClientConfig(**defaults)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(self.config())
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True
+        assert breaker.state == "open"
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(self.config())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+        assert breaker.state == "closed"
+
+    def test_full_open_half_open_close_cycle(self):
+        client = InsightsClient(
+            config=self.config(), injector=FaultInjector(error_rate=1.0))
+        publish_one(client)
+        # Three exhausted fetches open the breaker.
+        for _ in range(3):
+            client.fetch_annotations(["tag-1"], now=0.0)
+        assert client.breaker.state == "open"
+        # While open, fetches degrade without touching the service.
+        fetches_before = client.metrics.snapshot()["fetches"]
+        for _ in range(3):
+            assert client.fetch_annotations(["tag-1"], now=0.0) == {}
+            assert client.last_fetch_degraded is True
+        assert client.breaker.state == "open"
+        # Heal the service; the cooldown's next fetch runs as a probe.
+        client.injector.error_rate = 0.0
+        result = client.fetch_annotations(["tag-1"], now=0.0)
+        assert "rec-1" in result
+        assert client.breaker.state == "closed"
+        assert client.breaker.transitions == ["open", "half-open", "closed"]
+
+    def test_failed_probe_reopens(self):
+        client = InsightsClient(
+            config=self.config(), injector=FaultInjector(error_rate=1.0))
+        publish_one(client)
+        for _ in range(3):
+            client.fetch_annotations(["tag-1"], now=0.0)
+        for _ in range(3):
+            client.fetch_annotations(["tag-1"], now=0.0)
+        # Still failing: the half-open probe fails and reopens.
+        client.fetch_annotations(["tag-1"], now=0.0)
+        assert client.breaker.state == "open"
+        assert client.breaker.transitions == ["open", "half-open", "open"]
+
+
+class TestLockPassthrough:
+    def test_lock_operations_hit_the_service_directly(self):
+        service = InsightsService()
+        client = InsightsClient(service)
+        assert client.acquire_view_lock("sig", holder="job-1")
+        assert not client.acquire_view_lock("sig", holder="job-2")
+        assert client.lock_holder("sig") == "job-1"
+        assert service.held_locks() == {"sig": "job-1"}
+        client.report_view_available("sig", holder="job-1")
+        assert client.held_locks() == {}
+
+    def test_locks_stay_consistent_while_breaker_open(self):
+        client = InsightsClient(
+            config=InsightsClientConfig(
+                max_retries=0, breaker_failure_threshold=1),
+            injector=FaultInjector(error_rate=1.0))
+        publish_one(client)
+        client.fetch_annotations(["tag-1"], now=0.0)
+        assert client.breaker.state == "open"
+        # The serving path is degraded, but the lock table still answers:
+        # it guards buildout and must stay strongly consistent.
+        assert client.acquire_view_lock("sig", holder="job-1")
+        client.release_view_lock("sig", holder="job-1")

@@ -1,0 +1,224 @@
+"""Unit tests for the concurrent job scheduler and the repro.api facade."""
+
+import pytest
+
+from repro.api import Session
+from repro.catalog import schema_of
+from repro.common.errors import (
+    AdmissionError,
+    ConfigError,
+    SchedulerError,
+)
+from repro.engine import ScopeEngine
+from repro.optimizer.context import Annotation
+from repro.plan import PlanBuilder, normalize
+from repro.plan.logical import Join
+from repro.scheduler import (
+    JobRequest,
+    JobScheduler,
+    SchedulerConfig,
+)
+from repro.signatures import enumerate_subexpressions
+from repro.sql import parse
+
+SQL = ("SELECT CustomerId, SUM(Price) AS s FROM Sales JOIN Customer "
+       "WHERE MktSegment = 'Asia' GROUP BY CustomerId")
+
+
+def install_tables(engine):
+    engine.register_table(
+        schema_of("Sales", [("CustomerId", "int"), ("Price", "float"),
+                            ("Day", "str")]),
+        [dict(CustomerId=i % 5, Price=float(i), Day="d0")
+         for i in range(50)])
+    engine.register_table(
+        schema_of("Customer", [("CustomerId", "int"), ("MktSegment", "str")]),
+        [dict(CustomerId=i, MktSegment="Asia" if i % 2 else "Europe")
+         for i in range(5)])
+
+
+def annotate_join(engine, sql=SQL):
+    from repro.optimizer.rules import apply_rewrites
+    plan = normalize(apply_rewrites(
+        PlanBuilder(engine.catalog).build(parse(sql))))
+    subs = enumerate_subexpressions(plan, engine.signature_salt)
+    join = max((s for s in subs if isinstance(s.plan, Join)),
+               key=lambda s: s.height)
+    engine.insights.publish([Annotation(join.recurring, join.tag)])
+
+
+@pytest.fixture
+def engine():
+    eng = ScopeEngine()
+    install_tables(eng)
+    return eng
+
+
+class TestSchedulerConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(workers=0),
+        dict(max_pending=-1),
+        dict(admission="drop"),
+    ])
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(**kwargs)
+
+
+class TestBatches:
+    def test_results_in_submission_order_with_deterministic_ids(self, engine):
+        with JobScheduler(engine, SchedulerConfig(workers=4)) as scheduler:
+            results = scheduler.run_batch(
+                [JobRequest(sql=SQL) for _ in range(8)], now=0.0)
+        assert [r.job_id for r in results] == \
+            [f"job-{i}" for i in range(1, 9)]
+        assert all(r.ok for r in results)
+        rows = [sorted(map(repr, r.rows)) for r in results]
+        assert all(r == rows[0] for r in rows)
+
+    def test_per_job_isolation(self, engine):
+        requests = [JobRequest(sql=SQL),
+                    JobRequest(sql="SELECT Nope FROM Missing"),
+                    JobRequest(sql=SQL)]
+        with JobScheduler(engine, SchedulerConfig(workers=3)) as scheduler:
+            results = scheduler.run_batch(requests, now=0.0)
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].error
+        assert results[1].error_type
+        assert results[1].rows == []
+
+    def test_one_buildout_per_wave_via_lock_table(self, engine):
+        annotate_join(engine)
+        with JobScheduler(engine, SchedulerConfig(workers=4)) as scheduler:
+            results = scheduler.run_batch(
+                [JobRequest(sql=SQL) for _ in range(4)], now=0.0)
+        # Exactly one of the concurrent jobs won the view lock and built;
+        # views seal at the barrier, so none reused within the wave.
+        assert sum(r.views_built for r in results) == 1
+        assert engine.view_store.total_created == 1
+        # The lock was released by early sealing.
+        assert engine.insights.held_locks() == {}
+
+    def test_next_wave_reuses_previous_waves_views(self, engine):
+        annotate_join(engine)
+        with JobScheduler(engine, SchedulerConfig(workers=4)) as scheduler:
+            scheduler.run_batch([JobRequest(sql=SQL)], now=0.0)
+            results = scheduler.run_batch(
+                [JobRequest(sql=SQL) for _ in range(3)], now=10.0)
+        assert all(r.views_reused == 1 for r in results)
+
+    def test_reuse_gate_disables_per_virtual_cluster(self, engine):
+        annotate_join(engine)
+        scheduler = JobScheduler(
+            engine, SchedulerConfig(workers=2),
+            reuse_gate=lambda vc: vc != "frozen")
+        results = scheduler.run_batch(
+            [JobRequest(sql=SQL, virtual_cluster="frozen"),
+             JobRequest(sql=SQL, virtual_cluster="hot")], now=0.0)
+        scheduler.close()
+        assert results[0].reuse_enabled is False
+        assert results[0].views_built == 0
+        assert results[1].views_built == 1
+
+
+class TestAdmission:
+    def test_reject_mode_raises_admission_error(self, engine):
+        scheduler = JobScheduler(engine, SchedulerConfig(
+            workers=1, max_pending=2, admission="reject"))
+        scheduler.submit(JobRequest(sql=SQL))
+        scheduler.submit(JobRequest(sql=SQL))
+        with pytest.raises(AdmissionError):
+            scheduler.submit(JobRequest(sql=SQL))
+        scheduler.drain()
+        # Draining frees the slots again.
+        scheduler.submit(JobRequest(sql=SQL))
+        scheduler.drain()
+        scheduler.close()
+
+    def test_failed_jobs_release_admission_slots(self, engine):
+        scheduler = JobScheduler(engine, SchedulerConfig(
+            workers=1, max_pending=1, admission="reject"))
+        scheduler.submit(JobRequest(sql="SELECT Nope FROM Missing"))
+        results = scheduler.drain()
+        assert not results[0].ok
+        scheduler.submit(JobRequest(sql=SQL))
+        assert scheduler.drain()[0].ok
+        scheduler.close()
+
+
+class TestLifecycle:
+    def test_close_with_pending_jobs_refuses(self, engine):
+        scheduler = JobScheduler(engine, SchedulerConfig(workers=1))
+        scheduler.submit(JobRequest(sql=SQL))
+        with pytest.raises(SchedulerError):
+            scheduler.close()
+        scheduler.drain()
+        scheduler.close()
+
+    def test_submit_after_close_refuses(self, engine):
+        scheduler = JobScheduler(engine, SchedulerConfig(workers=1))
+        scheduler.close()
+        with pytest.raises(SchedulerError):
+            scheduler.submit(JobRequest(sql=SQL))
+
+
+class TestSessionFacade:
+    def test_run_and_run_batch_share_job_result_shape(self):
+        with Session() as session:
+            install_tables(session.engine)
+            single = session.run(SQL, now=0.0)
+            batch = session.run_batch([SQL, SQL], now=1.0)
+        assert single.ok and all(r.ok for r in batch)
+        assert single.summary().keys() == batch[0].summary().keys()
+        assert [r.job_id for r in batch] == ["job-2", "job-3"]
+
+    def test_batch_failures_do_not_raise(self):
+        with Session() as session:
+            install_tables(session.engine)
+            results = session.run_batch(
+                [SQL, "SELECT Nope FROM Missing"], now=0.0)
+        assert [r.ok for r in results] == [True, False]
+
+    def test_feedback_loop_through_session(self):
+        from repro.core.controls import MultiLevelControls
+        from repro.selection.policies import SelectionPolicy
+
+        controls = MultiLevelControls()
+        controls.enable_vc("default")
+        with Session(controls=controls,
+                     policy=SelectionPolicy(min_reuses_per_epoch=0.0)
+                     ) as session:
+            install_tables(session.engine)
+            session.run(SQL, now=0.0)
+            session.run(SQL, now=1.0)
+            selection = session.analyze_and_publish()
+            assert selection.considered > 0
+            later = session.run(SQL, now=10.0)
+            reuse_round = session.run(SQL, now=20.0)
+        assert later.views_built >= 1
+        assert reuse_round.views_reused >= 1
+        assert session.views_created >= 1
+
+    def test_unknown_selection_algorithm_raises(self):
+        with pytest.raises(ConfigError):
+            Session(selection_algorithm="magic")
+
+    def test_catalog_digest_stable_across_equivalent_sessions(self):
+        from repro.core.controls import MultiLevelControls
+        from repro.selection.policies import SelectionPolicy
+
+        def build():
+            controls = MultiLevelControls()
+            controls.enable_vc("default")
+            with Session(controls=controls,
+                         policy=SelectionPolicy(min_reuses_per_epoch=0.0)
+                         ) as session:
+                install_tables(session.engine)
+                session.run(SQL, now=0.0)
+                session.run(SQL, now=1.0)
+                session.analyze_and_publish()
+                session.run(SQL, now=10.0)
+                digest = session.catalog_digest()
+                assert session.views_created >= 1
+                return digest
+        assert build() == build()
