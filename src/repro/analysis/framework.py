@@ -137,6 +137,7 @@ def register(cls: type) -> type:
 def default_rules() -> List[Rule]:
     """Fresh instances of every registered rule (all three packs)."""
     # Importing the packs populates REGISTRY; deferred to avoid cycles.
+    from repro.analysis import lifecycle_rules  # noqa: F401
     from repro.analysis import plan_rules  # noqa: F401
     from repro.analysis import reuse_rules  # noqa: F401
     from repro.analysis import signature_rules  # noqa: F401
@@ -160,6 +161,7 @@ class AnalysisContext:
 
     catalog: object = None          # repro.catalog.Catalog
     view_store: object = None       # repro.storage.views.ViewStore
+    lineage: object = None          # repro.lifecycle.LineageRegistry
     salt: str = ""                  # runtime-version signature salt
     now: float = 0.0                # simulated time of the analysis
     job_id: str = ""

@@ -1,0 +1,58 @@
+"""Rule pack 4: lifecycle soundness.
+
+The lifecycle subsystem invalidates views *by lineage*: when a stream's
+GUID changes (bulk update, GDPR forget) the manager purges exactly the
+views whose recorded inputs include that stream.  That only works if the
+lineage registry is complete and honest — a view with *missing* lineage
+is invisible to every cascade (a GDPR forget would silently leave it
+behind, which is a compliance failure, Section 4), and a lineage entry
+whose recorded GUID has *dangled* (no longer any version of its dataset)
+points at an input the catalog has forgotten entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.analysis.framework import AnalysisContext, Finding, Rule, register
+from repro.plan.logical import LogicalPlan
+
+
+@register
+class ViewLineageRule(Rule):
+    name = "lifecycle-view-lineage"
+    severity = "error"
+    description = ("Every sealed view must have complete lineage: missing "
+                   "lineage hides it from invalidation cascades (GDPR), "
+                   "dangling lineage references a dataset the catalog "
+                   "no longer knows")
+
+    def check_workload(self, plans: Sequence[Tuple[str, LogicalPlan]],
+                       ctx: AnalysisContext) -> Iterable[Finding]:
+        lineage = ctx.lineage
+        store = ctx.view_store
+        if lineage is None or store is None:
+            return
+        for view in store.views():
+            if view.purged:
+                continue  # already invalidated; awaiting GC collection
+            if not lineage.has(view.signature):
+                yield self.finding(
+                    f"view {view.signature[:12]}… has no recorded lineage; "
+                    "stream-GUID changes and GDPR forgets cannot cascade "
+                    "to it", signature=view.signature)
+                continue
+            for dataset, guid in sorted(lineage.inputs_of(view.signature)):
+                if ctx.catalog is not None and not ctx.catalog.has(dataset):
+                    yield self.finding(
+                        f"view {view.signature[:12]}… lists input dataset "
+                        f"{dataset!r} which is not in the catalog "
+                        "(dangling lineage)", severity="warn",
+                        signature=view.signature, dataset=dataset)
+                elif not guid:
+                    yield self.finding(
+                        f"view {view.signature[:12]}… records input "
+                        f"{dataset!r} with an empty stream GUID; "
+                        "staleness checks against it are meaningless",
+                        severity="warn",
+                        signature=view.signature, dataset=dataset)

@@ -27,6 +27,7 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.catalog.schema import TableSchema
+from repro.common.errors import ReproError
 from repro.core.controls import MultiLevelControls
 from repro.core.runner import record_job_into
 from repro.engine.engine import EngineConfig, ScopeEngine
@@ -36,6 +37,7 @@ from repro.insights.client import (
     InsightsClientConfig,
 )
 from repro.insights.service import InsightsService
+from repro.lifecycle.manager import LifecycleConfig, LifecycleManager
 from repro.plan.expressions import Row
 from repro.scheduler.results import JobResult
 from repro.scheduler.scheduler import (
@@ -52,6 +54,7 @@ __all__ = [
     "Session",
     "JobResult", "JobRequest",
     "EngineConfig", "SchedulerConfig", "InsightsClientConfig",
+    "LifecycleConfig",
     "FaultInjector", "SelectionPolicy", "MultiLevelControls",
 ]
 
@@ -73,6 +76,7 @@ class Session:
                  controls: Optional[MultiLevelControls] = None,
                  policy: Optional[SelectionPolicy] = None,
                  selection_algorithm: str = "greedy",
+                 lifecycle: Optional[LifecycleConfig] = None,
                  recorder=None):
         validate_selection_algorithm(selection_algorithm)
         self.service = InsightsService()
@@ -95,6 +99,10 @@ class Session:
         if recorder is not None:
             recorder.install(self.engine)
             self.scheduler.recorder = recorder
+        # After the recorder: journal recovery emits a recorded event.
+        self.lifecycle: Optional[LifecycleManager] = None
+        if lifecycle is not None:
+            self.lifecycle = LifecycleManager(self.engine, lifecycle)
 
     # ------------------------------------------------------------------ #
     # data management
@@ -200,7 +208,17 @@ class Session:
     def storage_in_use(self, now: float) -> int:
         return self.engine.view_store.storage_in_use(now)
 
+    def gc_sweep(self, now: float = 0.0):
+        """One lifecycle GC sweep (requires ``lifecycle=`` at construction)."""
+        if self.lifecycle is None:
+            raise ReproError("Session was built without lifecycle=")
+        return self.lifecycle.sweep(now)
+
     def close(self) -> None:
+        # Lifecycle first: its shutdown snapshot must see the final state
+        # before anything else tears down.
+        if self.lifecycle is not None:
+            self.lifecycle.close()
         self.scheduler.close()
 
     def __enter__(self) -> "Session":
@@ -210,4 +228,6 @@ class Session:
         if exc_type is None:
             self.close()
         else:
+            if self.lifecycle is not None:
+                self.lifecycle.close()
             self.scheduler.__exit__(exc_type, exc, tb)

@@ -19,11 +19,16 @@ change automatically invalidates all views derived from the old version.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import CatalogError
 from repro.common.hashing import stable_hash
 from repro.catalog.schema import TableSchema
+
+#: Version observer: ``observer(version, previous)`` with ``previous``
+#: ``None`` for a dataset's initial registration.  The lifecycle
+#: subsystem subscribes to turn GUID changes into invalidation events.
+VersionObserver = Callable[["StreamVersion", Optional["StreamVersion"]], None]
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,18 @@ class Catalog:
     def __init__(self) -> None:
         self._entries: Dict[str, DatasetEntry] = {}
         self._guid_counter = 0
+        self._observers: List[VersionObserver] = []
+
+    # ------------------------------------------------------------------ #
+    # version observers
+
+    def subscribe(self, observer: VersionObserver) -> None:
+        """Deliver every future stream-version installation, in order."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: VersionObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     # ------------------------------------------------------------------ #
     # registration and lookup
@@ -124,6 +141,7 @@ class Catalog:
     def _new_version(self, name: str, row_count: int, at: float,
                      reason: str) -> StreamVersion:
         entry = self.entry(name)
+        previous = entry.versions[-1] if entry.versions else None
         self._guid_counter += 1
         guid = stable_hash("stream", name, self._guid_counter, reason)
         version = StreamVersion(
@@ -135,4 +153,6 @@ class Catalog:
             reason=reason,
         )
         entry.versions.append(version)
+        for observer in list(self._observers):
+            observer(version, previous)
         return version

@@ -68,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the flight-recorder capture "
                                "(metrics.json, spans.jsonl, events.jsonl) "
                                "to DIR")
+    simulate.add_argument("--view-ttl", type=float, default=None,
+                          metavar="SECONDS",
+                          help="view time-to-live in simulated seconds "
+                               "(default: one week, the paper's eviction "
+                               "policy)")
 
     tpcds = sub.add_parser(
         "tpcds", help="SparkCruise on mini TPC-DS (Section 5.5)")
@@ -135,6 +140,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
 
+    gc = sub.add_parser(
+        "gc", help="view lifecycle operations against a catalog journal "
+                   "(sweep, GDPR forget, epoch bump, stats)")
+    gc.add_argument("--journal-dir", default="repro-journal", metavar="DIR",
+                    help="catalog journal directory "
+                         "(default: repro-journal)")
+    gc.add_argument("--sweep", action="store_true",
+                    help="run one GC sweep (expiry + purged-entry "
+                         "collection + budget eviction)")
+    gc.add_argument("--forget", default=None, metavar="STREAM",
+                    help="apply a GDPR forget to STREAM: new GUID and a "
+                         "cascade purge of every dependent view")
+    gc.add_argument("--bump-epoch", action="store_true",
+                    help="roll the runtime epoch: all signatures change, "
+                         "every view and annotation is invalidated")
+    gc.add_argument("--stats", action="store_true",
+                    help="print the lifecycle summary")
+    gc.add_argument("--now", type=float, default=None,
+                    help="simulated time for sweep/forget "
+                         "(default: wall clock)")
+    gc.add_argument("--storage-budget", type=int, default=None,
+                    metavar="BYTES",
+                    help="byte budget enforced by --sweep's eviction pass")
+
     return parser
 
 
@@ -148,6 +177,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "obs": _cmd_obs,
         "lint": _cmd_lint,
+        "gc": _cmd_gc,
     }[args.command]
     try:
         return handler(args)
@@ -177,7 +207,8 @@ def _cmd_simulate(args) -> int:
         label = "cloudviews" if enabled else "baseline"
         print(f"simulating {args.days} days ({label}) ...")
         config = SimulationConfig(days=args.days, cloudviews_enabled=enabled,
-                                  selection_algorithm=args.selection)
+                                  selection_algorithm=args.selection,
+                                  view_ttl_seconds=args.view_ttl)
         # The flight recorder rides on the CloudViews-enabled run; the
         # baseline stays uninstrumented, as in the paper's A/B harness.
         simulation = WorkloadSimulation(
@@ -226,7 +257,8 @@ def _cmd_simulate_concurrent(args) -> int:
     recorder = FlightRecorder()
     config = ConcurrentSimulationConfig(
         days=args.days, workers=args.workers,
-        selection_algorithm=args.selection)
+        selection_algorithm=args.selection,
+        view_ttl_seconds=args.view_ttl)
     print(f"simulating {args.days} days "
           f"(cloudviews, {args.workers} workers) ...")
     simulation = ConcurrentSimulation(_workload(args), config,
@@ -280,6 +312,51 @@ def _cmd_obs(args) -> int:
         if args.kind is not None:
             events = [e for e in events if e.kind == args.kind]
         print(render_events(events, limit=args.limit))
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    """View lifecycle operations against a durable catalog journal."""
+    import time as _time
+
+    from repro.lifecycle import LifecycleConfig, LifecycleManager
+
+    engine = ScopeEngine()
+    manager = LifecycleManager(engine, LifecycleConfig(
+        journal_dir=args.journal_dir,
+        storage_budget_bytes=args.storage_budget))
+    now = _time.time() if args.now is None else args.now
+    acted = False
+    try:
+        report = manager.last_recovery
+        if report is not None and report.recovered_anything:
+            print(f"recovered {report.views_restored} view(s) from "
+                  f"{args.journal_dir} (snapshot: {report.snapshot_views}, "
+                  f"wal ops: {report.wal_ops}, epoch: {report.epoch})")
+        if args.forget:
+            purged = manager.forget_stream(args.forget, at=now)
+            print(f"gdpr forget {args.forget!r}: "
+                  f"purged {purged} dependent view(s)")
+            acted = True
+        if args.bump_epoch:
+            version = manager.bump_epoch(at=now)
+            print(f"runtime epoch bumped -> {version} "
+                  f"(epoch {manager.epoch}; all views invalidated)")
+            acted = True
+        if args.sweep:
+            result = manager.janitor.run_once(now)
+            print(f"sweep: expired {result.expired}, "
+                  f"collected {result.removed}, "
+                  f"budget-evicted {result.budget_evicted}, "
+                  f"pinned-skipped {result.pinned_skipped}, "
+                  f"reclaimed {result.reclaimed_bytes:,} bytes "
+                  f"in {result.duration_seconds * 1000:.2f} ms")
+            acted = True
+        if args.stats or not acted:
+            for key, value in manager.stats(now).items():
+                print(f"{key:<28} {value}")
+    finally:
+        manager.close()
     return 0
 
 

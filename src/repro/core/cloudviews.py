@@ -122,7 +122,19 @@ class CloudViews:
     # operational surface
 
     def purge_view(self, strict_signature: str) -> None:
-        """User-initiated purge of a view's files (Section 2.4)."""
+        """User-initiated purge of a view's files (Section 2.4).
+
+        Purging only the catalog entry used to leave two things behind:
+        the insights-service view lock (its builder will never come back
+        to release it) and the published annotation (which would drive a
+        pointless immediate rebuild of a view the user just deleted).
+        Release the lock and retract the annotation along with the purge.
+        """
+        insights = self.engine.insights
+        view = self.engine.view_store.get(strict_signature)
+        if view is not None and view.recurring_signature:
+            insights.retract([view.recurring_signature])
+        insights.force_release_lock(strict_signature)
         self.engine.view_store.purge(strict_signature)
 
     def evict_expired(self, now: float) -> int:

@@ -37,7 +37,7 @@ from repro.common.clock import SECONDS_PER_DAY
 from repro.core.controls import MultiLevelControls
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
-from repro.engine.engine import JobRun, ScopeEngine
+from repro.engine.engine import EngineConfig, JobRun, ScopeEngine
 from repro.optimizer.stats import CardinalityEstimator
 from repro.executor.executor import choose_join_algorithm
 from repro.plan.logical import Join, LogicalPlan, Scan, Spool, ViewScan
@@ -81,6 +81,9 @@ class SimulationConfig:
     max_partitions: int = 96
     vc_job_slots: int = 3
     job_overhead_seconds: float = 45.0
+    #: View TTL in simulated seconds (``repro simulate --view-ttl``);
+    #: ``None`` keeps the engine default (one week, §3.1).
+    view_ttl_seconds: Optional[float] = None
 
 
 @dataclass
@@ -128,7 +131,12 @@ class WorkloadSimulation:
                  recorder=None):
         self.workload = workload
         self.config = config
-        self.engine = engine or ScopeEngine()
+        if engine is None:
+            engine_config = EngineConfig()
+            if config.view_ttl_seconds is not None:
+                engine_config.view_ttl_seconds = config.view_ttl_seconds
+            engine = ScopeEngine(config=engine_config)
+        self.engine = engine
         self.controls = controls
         #: Flight recorder for the whole feedback loop.  Installing it
         #: here wires the engine, insights service, and view store; the

@@ -39,7 +39,7 @@ from repro.optimizer.rules import apply_rewrites
 from repro.optimizer.stats import StatisticsCatalog
 from repro.plan.builder import PlanBuilder
 from repro.plan.expressions import Row
-from repro.plan.logical import LogicalPlan, Spool
+from repro.plan.logical import LogicalPlan, Spool, ViewScan
 from repro.plan.normalize import normalize
 from repro.signatures.signature import (
     enumerate_subexpressions,
@@ -317,12 +317,23 @@ class ScopeEngine:
         The cluster simulator passes ``seal_views=False`` and calls
         :meth:`seal_spooled` when the spool-writer stage actually completes
         in simulated time, so early sealing happens at the right moment.
+
+        Every ViewScan's backing view is *pinned* for the duration of the
+        run: the lifecycle GC janitor sweeps concurrently, and a pinned
+        view is never hard-removed mid-scan.
         """
+        pinned = [node.signature for node in compiled.plan.walk()
+                  if isinstance(node, ViewScan)
+                  and self.view_store.pin(node.signature)]
         try:
-            result = self.executor.execute(compiled.plan)
-        except ReproError:
-            self._abandon_builds(compiled)
-            raise
+            try:
+                result = self.executor.execute(compiled.plan)
+            except ReproError:
+                self._abandon_builds(compiled)
+                raise
+        finally:
+            for signature in pinned:
+                self.view_store.unpin(signature)
         run = JobRun(compiled=compiled, result=result)
         if seal_views:
             for spool in result.spooled:

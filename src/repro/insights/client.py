@@ -312,11 +312,30 @@ class InsightsClient:
     def annotation_count(self) -> int:
         return self.service.annotation_count()
 
+    def bump_generation(self) -> int:
+        """Pass-through cache invalidation (the local cache is keyed by
+        generation, so entries die on the next fetch; clearing eagerly
+        just returns the memory sooner)."""
+        generation = self.service.bump_generation()
+        with self._mutex:
+            self._cache.clear()
+        return generation
+
+    def retract(self, recurring_signatures) -> int:
+        removed = self.service.retract(recurring_signatures)
+        if removed:
+            with self._mutex:
+                self._cache.clear()
+        return removed
+
     def acquire_view_lock(self, strict_signature: str, holder: str) -> bool:
         return self.service.acquire_view_lock(strict_signature, holder)
 
     def release_view_lock(self, strict_signature: str, holder: str) -> None:
         self.service.release_view_lock(strict_signature, holder)
+
+    def force_release_lock(self, strict_signature: str) -> bool:
+        return self.service.force_release_lock(strict_signature)
 
     def lock_holder(self, strict_signature: str) -> Optional[str]:
         return self.service.lock_holder(strict_signature)

@@ -170,6 +170,46 @@ class InsightsService:
         with self._mutex:
             return len(self._by_recurring)
 
+    def bump_generation(self) -> int:
+        """Invalidate every generation-keyed downstream cache.
+
+        The lifecycle manager calls this after an invalidation cascade:
+        the annotations themselves stay published (the views should be
+        rebuilt over the fresh stream GUIDs), but clients holding
+        TTL-cached copies of *reuse* state must come back to the source.
+        """
+        with self._mutex:
+            self._cache.clear()
+            self.generation += 1
+            return self.generation
+
+    def retract(self, recurring_signatures: Iterable[str]) -> int:
+        """Withdraw specific annotations (user-initiated view purge).
+
+        Unlike :meth:`publish` this removes only the named recurring
+        signatures, leaving the rest of the selection in force, and bumps
+        the generation so cached copies die with them.
+        """
+        wanted = set(recurring_signatures)
+        if not wanted:
+            return 0
+        removed = 0
+        with self._mutex:
+            for signature in wanted:
+                if self._by_recurring.pop(signature, None) is not None:
+                    removed += 1
+            if removed:
+                for tag in list(self._by_tag):
+                    kept = [a for a in self._by_tag[tag]
+                            if a.recurring_signature not in wanted]
+                    if kept:
+                        self._by_tag[tag] = kept
+                    else:
+                        del self._by_tag[tag]
+                self._cache.clear()
+                self.generation += 1
+        return removed
+
     # ------------------------------------------------------------------ #
     # query-time serving
 
@@ -281,6 +321,23 @@ class InsightsService:
         self.metrics.inc("locks_released")
         self.recorder.event(obs_events.LOCK_RELEASED, job_id=holder,
                             signature=strict_signature[:12])
+
+    def force_release_lock(self, strict_signature: str) -> bool:
+        """Administratively drop a view lock regardless of holder.
+
+        Used when the view a lock guards is being purged out from under
+        its builder (invalidation cascade, GDPR erasure): the holder may
+        never come back to release it, and a stuck lock would block the
+        rebuild over the fresh stream GUIDs forever.
+        """
+        with self._mutex:
+            holder = self._locks.pop(strict_signature, None)
+        if holder is None:
+            return False
+        self.metrics.inc("locks_released")
+        self.recorder.event(obs_events.LOCK_RELEASED, job_id=holder,
+                            signature=strict_signature[:12], forced=True)
+        return True
 
     def lock_holder(self, strict_signature: str) -> Optional[str]:
         with self._mutex:

@@ -1,0 +1,401 @@
+"""The lifecycle manager: where lineage, invalidation, GC, and the
+journal meet the engine.
+
+One :class:`LifecycleManager` attaches to one
+:class:`~repro.engine.engine.ScopeEngine` and takes over the view
+lifecycle end to end:
+
+* it subscribes to the view store's mutation feed, recording lineage for
+  every view at materialization time and journaling every mutation;
+* it subscribes to the catalog's stream-version feed, so a bulk update or
+  GDPR forget automatically publishes the matching invalidation event on
+  the :class:`~repro.lifecycle.invalidation.InvalidationBus`;
+* it handles those events by cascade-purging exactly the dependent views
+  (by lineage), force-releasing their build locks, and bumping the
+  insights-service annotation generation so every client-side cache of
+  stale signatures drops at once;
+* its :meth:`sweep` is the GC janitor's unit of work: expiry eviction,
+  purged-entry collection (blobs included), and storage-budget eviction
+  in ascending cost/benefit order;
+* with a journal directory configured, the whole catalog survives
+  restarts: construction replays the snapshot + WAL before wiring any
+  listeners, and :meth:`close` leaves a fresh snapshot behind.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.common.errors import ConfigError
+from repro.lifecycle.gc import GcJanitor, SweepResult, gc_score
+from repro.lifecycle.invalidation import (
+    GdprForget,
+    InvalidationBus,
+    LifecycleEvent,
+    RuntimeEpochBumped,
+    StreamGuidChanged,
+)
+from repro.lifecycle.journal import CatalogJournal, RecoveryReport, view_to_record
+from repro.lifecycle.lineage import LineageRegistry, extract_inputs
+from repro.obs import events as obs_events
+
+
+@dataclass(kw_only=True)
+class LifecycleConfig:
+    """Knobs of the lifecycle subsystem (``Session(lifecycle=...)``)."""
+
+    #: Directory for the durable catalog journal; ``None`` keeps the
+    #: catalog in-memory only (the pre-lifecycle behavior).
+    journal_dir: Optional[str] = None
+    #: WAL ops between automatic snapshots.
+    snapshot_every_ops: int = 512
+    #: Janitor wakeup cadence (wall-clock seconds).
+    gc_interval_seconds: float = 60.0
+    #: Byte budget enforced by the sweep's eviction pass; ``None`` leaves
+    #: expiry as the only storage control (the paper's §3.1 posture).
+    storage_budget_bytes: Optional[int] = None
+    #: Start the background janitor thread on attach.  Off by default:
+    #: simulations drive :meth:`LifecycleManager.sweep` from simulated
+    #: time instead.
+    start_janitor: bool = False
+    #: Source of "now" for the janitor's autonomous sweeps.
+    clock: Optional[Callable[[], float]] = None
+    #: Also delete a collected view's materialized rows from the data
+    #: store (the paper's users can "see the CloudViews-generated files").
+    delete_blobs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every_ops < 1:
+            raise ConfigError("snapshot_every_ops must be >= 1, got "
+                              f"{self.snapshot_every_ops}")
+        if self.gc_interval_seconds <= 0:
+            raise ConfigError("gc_interval_seconds must be > 0, got "
+                              f"{self.gc_interval_seconds}")
+        if (self.storage_budget_bytes is not None
+                and self.storage_budget_bytes < 0):
+            raise ConfigError("storage_budget_bytes must be >= 0, got "
+                              f"{self.storage_budget_bytes}")
+
+
+class LifecycleManager:
+    """Drives the view lifecycle of one engine; see the module docstring."""
+
+    def __init__(self, engine, config: Optional[LifecycleConfig] = None):
+        self.engine = engine
+        self.config = config or LifecycleConfig()
+        self.store = engine.view_store
+        self.insights = engine.insights
+        self.catalog = engine.catalog
+        self.lineage = LineageRegistry()
+        self.bus = InvalidationBus()
+        self.epoch = 0
+        self.cascades = 0
+        self.last_recovery: Optional[RecoveryReport] = None
+        self.journal: Optional[CatalogJournal] = None
+        if self.config.journal_dir is not None:
+            self.journal = CatalogJournal(self.config.journal_dir)
+            self._recover()
+        # Listener wiring strictly after recovery: replay must not
+        # re-journal itself.
+        self.store.add_listener(self._on_store_mutation)
+        self.catalog.subscribe(self._on_stream_version)
+        self.bus.subscribe(self._handle_event)
+        self.janitor = GcJanitor(
+            self.sweep,
+            interval_seconds=self.config.gc_interval_seconds,
+            clock=self.config.clock or time.time)
+        if self.config.start_janitor:
+            self.janitor.start()
+        engine.lifecycle = self
+
+    @property
+    def recorder(self):
+        return self.engine.recorder
+
+    # ------------------------------------------------------------------ #
+    # recovery
+
+    def _recover(self) -> None:
+        report = self.journal.recover(self.store, self.lineage)
+        self.last_recovery = report
+        self.epoch = report.epoch
+        if report.runtime_version:
+            self.engine.set_runtime_version(report.runtime_version)
+        if report.recovered_anything:
+            self.recorder.event(
+                obs_events.JOURNAL_RECOVERED,
+                snapshot_views=report.snapshot_views,
+                wal_ops=report.wal_ops,
+                views_restored=report.views_restored,
+                epoch=report.epoch)
+
+    # ------------------------------------------------------------------ #
+    # the view store's mutation feed (called with the store mutex held)
+
+    def _on_store_mutation(self, op: str, **payload) -> None:
+        if op == "created":
+            view = payload["view"]
+            inputs = extract_inputs(view.definition, self.lineage)
+            self.lineage.record(view.signature, inputs)
+            self._journal("created", view=view_to_record(view),
+                          lineage=sorted([d, g] for d, g in inputs))
+        elif op == "sealed":
+            view = payload["view"]
+            self._journal("sealed", signature=view.signature,
+                          sealed_at=view.sealed_at, rows=view.row_count,
+                          bytes=view.size_bytes)
+        elif op == "reused":
+            self._journal("reused", signature=payload["signature"])
+        elif op == "purged":
+            self._journal("purged", signature=payload["signature"],
+                          reason=payload.get("reason", "purged"))
+        elif op in ("abandoned", "evicted", "removed"):
+            signature = payload["signature"]
+            self.lineage.forget(signature)
+            self._journal(op, signature=signature,
+                          **({"reason": payload["reason"]}
+                             if "reason" in payload else {}))
+
+    def _journal(self, op: str, **payload) -> None:
+        if self.journal is None:
+            return
+        self.journal.append(op, **payload)
+        if (self.journal.ops_since_snapshot
+                >= self.config.snapshot_every_ops):
+            self.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # the catalog's stream-version feed
+
+    def _on_stream_version(self, version, previous) -> None:
+        if previous is None or version.reason == "initial":
+            return
+        if version.reason == "gdpr-forget":
+            self.bus.publish(GdprForget(
+                at=version.created_at, dataset=version.dataset,
+                new_guid=version.guid))
+        else:
+            self.bus.publish(StreamGuidChanged(
+                at=version.created_at, dataset=version.dataset,
+                old_guid=previous.guid, new_guid=version.guid))
+
+    # ------------------------------------------------------------------ #
+    # invalidation events
+
+    def _handle_event(self, event: LifecycleEvent) -> None:
+        if isinstance(event, StreamGuidChanged):
+            stale = self._stale_dependents(event.dataset)
+            self._cascade(stale, reason="stream-guid-changed", at=event.at,
+                          dataset=event.dataset)
+        elif isinstance(event, GdprForget):
+            # Erasure is stricter than staleness: *every* view derived
+            # from any version of the stream must go, and its files with
+            # it -- expiry alone is not compliance.
+            dependents = self.lineage.views_reading_dataset(event.dataset)
+            self._cascade(dependents, reason="gdpr-forget", at=event.at,
+                          dataset=event.dataset)
+        elif isinstance(event, RuntimeEpochBumped):
+            if self.engine.runtime_version != event.version:
+                self.engine.set_runtime_version(event.version)
+            everything = {v.signature for v in self.store.views()}
+            # Withdraw every annotation first (salted signatures can no
+            # longer match), then purge the views they produced.
+            self.insights.publish([])
+            self._cascade(everything, reason="epoch-bumped", at=event.at,
+                          bump_generation=False)
+            self._journal("epoch", version=event.version, epoch=event.epoch)
+            self.recorder.event(obs_events.EPOCH_BUMPED, at=event.at,
+                                version=event.version, epoch=event.epoch)
+
+    def _stale_dependents(self, dataset: str) -> Set[str]:
+        """Dependents of ``dataset`` built over a non-current GUID."""
+        current = (self.catalog.current_guid(dataset)
+                   if self.catalog.has(dataset) else None)
+        stale: Set[str] = set()
+        for signature in self.lineage.views_reading_dataset(dataset):
+            for input_dataset, guid in self.lineage.inputs_of(signature):
+                if input_dataset == dataset and guid != current:
+                    stale.add(signature)
+                    break
+        return stale
+
+    def _cascade(self, signatures: Set[str], reason: str, at: float,
+                 dataset: str = "", bump_generation: bool = True
+                 ) -> List[str]:
+        """Purge every dependent view; release locks; invalidate caches."""
+        purged: List[str] = []
+        for signature in sorted(signatures):
+            view = self.store.get(signature)
+            if view is None:
+                continue
+            # An unsealed dependent is mid-build: its producer holds the
+            # exclusive view lock.  Force-release so the (doomed) build
+            # cannot wedge the signature forever.
+            self.insights.force_release_lock(signature)
+            self.store.purge(signature, reason=reason)
+            purged.append(signature)
+        if purged and bump_generation:
+            # One generation bump for the whole cascade: every client
+            # cache keyed by generation drops its stale annotations.
+            self.insights.bump_generation()
+        if purged or reason == "epoch-bumped":
+            self.cascades += 1
+            self.recorder.event(
+                obs_events.LIFECYCLE_CASCADE, at=at, reason=reason,
+                dataset=dataset, purged=len(purged))
+        return purged
+
+    # ------------------------------------------------------------------ #
+    # operator entry points
+
+    def forget_stream(self, dataset: str, at: float = 0.0) -> int:
+        """Apply a GDPR forget to ``dataset``: new GUID + purge cascade.
+
+        Metadata-level entry point (the CLI's ``repro gc --forget``); use
+        :meth:`ScopeEngine.gdpr_forget` to also rewrite the stream's rows.
+        Returns the number of dependent views purged.  When the dataset is
+        not in the catalog (a recovered journal carries lineage but not
+        the dataset registry) the invalidation event is published
+        directly.
+        """
+        before = self.store.counters()["total_purged"]
+        if self.catalog.has(dataset):
+            # The catalog observer turns the new GUID into the event.
+            self.catalog.gdpr_forget(dataset, at=at)
+        else:
+            self.bus.publish(GdprForget(at=at, dataset=dataset,
+                                        new_guid=""))
+        return self.store.counters()["total_purged"] - before
+
+    def bump_epoch(self, version: Optional[str] = None,
+                   at: float = 0.0) -> str:
+        """Roll the runtime epoch: new signature salt, all views dark."""
+        self.epoch += 1
+        if version is None:
+            base = self.engine.runtime_version.split("+epoch")[0]
+            version = f"{base}+epoch{self.epoch}"
+        self.bus.publish(RuntimeEpochBumped(
+            at=at, version=version, epoch=self.epoch))
+        return version
+
+    # ------------------------------------------------------------------ #
+    # GC sweep (the janitor's unit of work)
+
+    def sweep(self, now: float = 0.0) -> SweepResult:
+        """One GC pass: expiry, purged-entry collection, budget eviction."""
+        started = time.perf_counter()
+        result = SweepResult(at=now)
+        result.storage_before = self.store.storage_in_use(now)
+
+        expired_views = self.store.evict_expired(now)
+        result.expired = len(expired_views)
+        for view in expired_views:
+            self._delete_blob(view.path)
+
+        for view in self.store.views():
+            collectable = view.purged or (view.sealed
+                                          and now >= view.expires_at)
+            if not collectable:
+                continue
+            if view.pins > 0:
+                result.pinned_skipped += 1
+                continue
+            if self.store.remove(view.signature, reason="gc"):
+                result.removed += 1
+                self._delete_blob(view.path)
+
+        budget = self.config.storage_budget_bytes
+        if budget is not None:
+            result.budget_evicted = self._evict_to_budget(now, budget,
+                                                          result)
+
+        result.storage_after = self.store.storage_in_use(now)
+        result.duration_seconds = time.perf_counter() - started
+        self.recorder.event(
+            obs_events.GC_SWEEP, at=now,
+            expired=result.expired, removed=result.removed,
+            budget_evicted=result.budget_evicted,
+            pinned_skipped=result.pinned_skipped,
+            reclaimed_bytes=result.reclaimed_bytes,
+            duration_seconds=round(result.duration_seconds, 6))
+        return result
+
+    def _evict_to_budget(self, now: float, budget: int,
+                         result: SweepResult) -> int:
+        """Evict live views, worst cost/benefit first, until under budget."""
+        evicted = 0
+        candidates = sorted(
+            (v for v in self.store.views() if v.available(now)),
+            key=lambda v: gc_score(v, now))
+        in_use = self.store.storage_in_use(now)
+        for view in candidates:
+            if in_use <= budget:
+                break
+            if view.pins > 0:
+                result.pinned_skipped += 1
+                continue
+            if self.store.remove(view.signature, reason="budget"):
+                evicted += 1
+                in_use -= view.size_bytes
+                result.evicted_signatures.append(view.signature)
+                self._delete_blob(view.path)
+        return evicted
+
+    def _delete_blob(self, path: str) -> None:
+        if not self.config.delete_blobs:
+            return
+        store = getattr(self.engine, "store", None)
+        if store is not None and store.has(path):
+            store.delete(path)
+
+    # ------------------------------------------------------------------ #
+    # persistence and shutdown
+
+    def snapshot(self) -> Optional[str]:
+        """Write a full-state snapshot (and truncate the WAL)."""
+        if self.journal is None:
+            return None
+        path = self.journal.snapshot(
+            self.store, self.lineage, epoch=self.epoch,
+            runtime_version=self.engine.runtime_version)
+        self.recorder.event(obs_events.JOURNAL_SNAPSHOT,
+                            views=len(self.store.views()),
+                            epoch=self.epoch)
+        return path
+
+    def stats(self, now: float = 0.0) -> Dict[str, object]:
+        """Operator-facing summary (``repro gc --stats``)."""
+        views = self.store.views()
+        out: Dict[str, object] = {
+            "views_total": len(views),
+            "views_available": sum(1 for v in views if v.available(now)),
+            "views_purged": sum(1 for v in views if v.purged),
+            "views_pinned": sum(1 for v in views if v.pins > 0),
+            "storage_in_use": self.store.storage_in_use(now),
+            "storage_budget": self.config.storage_budget_bytes,
+            "lineage_entries": len(self.lineage),
+            "lineage_datasets": len(self.lineage.datasets()),
+            "epoch": self.epoch,
+            "runtime_version": self.engine.runtime_version,
+            "cascades": self.cascades,
+            "gc_sweeps": self.janitor.sweeps,
+        }
+        out.update({f"counter_{k}": v
+                    for k, v in self.store.counters().items()})
+        if self.journal is not None:
+            out.update({f"journal_{k}": v
+                        for k, v in self.journal.stats().items()})
+        return out
+
+    def close(self) -> None:
+        """Stop the janitor, snapshot, and detach from the engine."""
+        self.janitor.stop()
+        if self.journal is not None:
+            self.snapshot()
+            self.journal.close()
+        self.store.remove_listener(self._on_store_mutation)
+        self.catalog.unsubscribe(self._on_stream_version)
+        if getattr(self.engine, "lifecycle", None) is self:
+            self.engine.lifecycle = None

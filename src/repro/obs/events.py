@@ -46,6 +46,13 @@ BREAKER_CLOSED = "breaker.closed"
 FETCH_DEGRADED = "insights.degraded"
 FETCH_RETRY = "insights.retry"
 SCHEDULER_WAVE = "scheduler.wave"
+# View lifecycle subsystem: invalidation cascades, the background GC
+# janitor's sweeps, runtime epoch bumps, and the durable catalog journal.
+LIFECYCLE_CASCADE = "lifecycle.cascade"
+GC_SWEEP = "gc.sweep"
+EPOCH_BUMPED = "epoch.bumped"
+JOURNAL_SNAPSHOT = "journal.snapshot"
+JOURNAL_RECOVERED = "journal.recovered"
 
 ALL_KINDS = (
     VIEW_CREATED, VIEW_SEALED, VIEW_REUSED, VIEW_INVALIDATED, VIEW_EVICTED,
@@ -53,6 +60,8 @@ ALL_KINDS = (
     JOB_COMPILED, JOB_FINISHED, JOB_FAILED, SELECTION_EPOCH, LINT_FINDING,
     BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED,
     FETCH_DEGRADED, FETCH_RETRY, SCHEDULER_WAVE,
+    LIFECYCLE_CASCADE, GC_SWEEP, EPOCH_BUMPED,
+    JOURNAL_SNAPSHOT, JOURNAL_RECOVERED,
 )
 
 

@@ -125,8 +125,16 @@ def _try_replace(plan: LogicalPlan, ctx: OptimizerContext, now: float,
     if cost_with >= cost_without:
         ctx.recorder.inc("views.match.rejected_by_cost")
         return None
+    # Re-check availability atomically at claim time: an invalidation
+    # cascade or GC sweep may have purged the view between the lookup
+    # above and this point (the lifecycle janitor runs concurrently
+    # with compilation).  A lost claim is just a recompute.
+    view = ctx.view_store.claim_for_reuse(signature, now,
+                                          reused_by=ctx.trace_id)
+    if view is None:
+        ctx.recorder.inc("views.match.lost_claims")
+        return None
     ctx.recorder.inc("views.match.hits")
-    ctx.view_store.record_reuse(signature, reused_by=ctx.trace_id)
     matches.append(ViewMatch(
         signature=signature,
         view_path=view.path,
@@ -156,8 +164,9 @@ def _try_containment(plan: LogicalPlan, ctx: OptimizerContext, now: float,
         cost_with, cost_without = _compare_rewrites(plan, rewritten, ctx)
         if cost_with >= cost_without:
             continue
-        ctx.view_store.record_reuse(view.signature,
-                                    reused_by=ctx.trace_id)
+        if ctx.view_store.claim_for_reuse(view.signature, now,
+                                          reused_by=ctx.trace_id) is None:
+            continue  # purged under us; try the next candidate
         matches.append(ViewMatch(
             signature=view.signature,
             view_path=view.path,

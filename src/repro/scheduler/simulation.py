@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 from repro.common.clock import SECONDS_PER_DAY
 from repro.core.controls import MultiLevelControls
 from repro.core.runner import record_job_into
-from repro.engine.engine import JobRun, ScopeEngine
+from repro.engine.engine import EngineConfig, JobRun, ScopeEngine
 from repro.insights.client import (
     FaultInjector,
     InsightsClient,
@@ -58,6 +58,9 @@ class ConcurrentSimulationConfig:
     warmup_days: int = 1
     reselect_every_days: int = 1
     selection_window_days: int = 3
+    #: View TTL in simulated seconds (``repro simulate --view-ttl``);
+    #: ``None`` keeps the engine default (one week, §3.1).
+    view_ttl_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         validate_selection_algorithm(self.selection_algorithm)
@@ -123,8 +126,13 @@ class ConcurrentSimulation:
             # The default engine fetches through the fault-tolerant
             # client, so concurrent waves exercise batching + caching
             # (and, with a fault injector, the degradation ladder).
-            engine = ScopeEngine(insights=InsightsClient(
-                config=client_config, injector=fault_injector))
+            engine_config = EngineConfig()
+            if config.view_ttl_seconds is not None:
+                engine_config.view_ttl_seconds = config.view_ttl_seconds
+            engine = ScopeEngine(
+                insights=InsightsClient(
+                    config=client_config, injector=fault_injector),
+                config=engine_config)
         self.engine = engine
         self.controls = controls
         self.recorder = recorder or NULL_RECORDER

@@ -27,7 +27,7 @@ import hashlib
 import json
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.clock import SECONDS_PER_WEEK
 from repro.common.errors import StorageError
@@ -35,6 +35,11 @@ from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
 
 DEFAULT_VIEW_TTL = SECONDS_PER_WEEK
+
+#: Mutation listener: ``listener(op, **payload)``.  Called with the store
+#: mutex held so the observed order equals the applied order (the durable
+#: catalog journal depends on this); listeners must not block.
+StoreListener = Callable[..., None]
 
 
 @dataclass
@@ -54,6 +59,11 @@ class MaterializedView:
     sealed_at: Optional[float] = None
     purged: bool = False
     reuse_count: int = 0
+    #: In-flight readers (jobs currently scanning the view).  Transient --
+    #: never serialized, never part of the catalog digest -- but a pinned
+    #: view survives eviction and hard removal until the last reader
+    #: unpins it.
+    pins: int = 0
     #: The defining logical subplan (used by the optional containment
     #: matcher of Section 5.3); None for views restored from metadata.
     definition: object = None
@@ -97,8 +107,31 @@ class ViewStore:
         self.total_created = 0
         self.total_reused = 0
         self.total_expired = 0
+        self.total_purged = 0
+        self.total_gc_evicted = 0
         #: Flight recorder (no-op unless a real one is installed).
         self.recorder = recorder
+        #: Mutation listeners (the lifecycle manager's journal/lineage
+        #: feed); see :data:`StoreListener`.
+        self._listeners: List[StoreListener] = []
+
+    # ------------------------------------------------------------------ #
+    # listeners (the lifecycle subsystem's feed)
+
+    def add_listener(self, listener: StoreListener) -> None:
+        """Subscribe to every catalog mutation, in applied order."""
+        with self._mutex:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: StoreListener) -> None:
+        with self._mutex:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, op: str, **payload) -> None:
+        """Dispatch one mutation to the listeners (mutex held by caller)."""
+        for listener in self._listeners:
+            listener(op, **payload)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -127,6 +160,7 @@ class ViewStore:
                 definition=definition,
             )
             self._views[signature] = view
+            self._notify("created", view=view, now=now)
         self.recorder.event(obs_events.VIEW_CREATED, at=now,
                             signature=signature[:12], path=path,
                             virtual_cluster=virtual_cluster)
@@ -142,6 +176,7 @@ class ViewStore:
             view.row_count = row_count
             view.size_bytes = size_bytes
             self.total_created += 1
+            self._notify("sealed", view=view, now=now)
         self.recorder.event(obs_events.VIEW_SEALED, at=now,
                             job_id=sealed_by,
                             signature=signature[:12], rows=row_count,
@@ -156,15 +191,83 @@ class ViewStore:
             if view is None or view.sealed:
                 return
             del self._views[signature]
+            self._notify("abandoned", signature=signature)
         self.recorder.event(obs_events.VIEW_INVALIDATED,
                             signature=signature[:12], reason="abandoned")
 
-    def purge(self, signature: str) -> None:
-        """User-initiated deletion of a view's files."""
+    def purge(self, signature: str, reason: str = "purged") -> None:
+        """Deletion of a view's files (user-initiated or cascade).
+
+        The view stops matching immediately; its catalog entry lingers
+        (flagged ``purged``) until the GC janitor hard-removes it, so
+        in-flight readers keep a consistent record to unpin.
+        """
         with self._mutex:
-            self._require(signature).purged = True
+            view = self._require(signature)
+            if not view.purged:
+                view.purged = True
+                self.total_purged += 1
+                self._notify("purged", signature=signature, reason=reason)
         self.recorder.event(obs_events.VIEW_INVALIDATED,
-                            signature=signature[:12], reason="purged")
+                            signature=signature[:12], reason=reason)
+
+    def remove(self, signature: str, reason: str = "gc") -> bool:
+        """Hard-remove a view's catalog entry (GC janitor only).
+
+        Refuses while any reader holds a pin; returns whether the entry
+        was removed.
+        """
+        with self._mutex:
+            view = self._views.get(signature)
+            if view is None or view.pins > 0:
+                return False
+            del self._views[signature]
+            self.total_gc_evicted += 1
+            self._notify("removed", signature=signature, reason=reason)
+        self.recorder.event(obs_events.VIEW_EVICTED,
+                            signature=signature[:12], reason=reason,
+                            reuse_count=view.reuse_count)
+        return True
+
+    def restore(self, view: MaterializedView) -> None:
+        """Reinstall a view record verbatim (journal replay only).
+
+        Does not notify listeners -- replay must not re-journal itself --
+        and does not touch the aggregate counters (the journal restores
+        those separately).
+        """
+        with self._mutex:
+            self._views[view.signature] = view
+
+    def discard(self, signature: str) -> None:
+        """Silently drop a view record (journal replay only; no
+        listeners, no counters)."""
+        with self._mutex:
+            self._views.pop(signature, None)
+
+    # ------------------------------------------------------------------ #
+    # pinning (in-flight readers)
+
+    def pin(self, signature: str) -> bool:
+        """Mark one in-flight reader; pinned views are never removed."""
+        with self._mutex:
+            view = self._views.get(signature)
+            if view is None:
+                return False
+            view.pins += 1
+            return True
+
+    def unpin(self, signature: str) -> None:
+        """Release one reader's pin (tolerant of a vanished view)."""
+        with self._mutex:
+            view = self._views.get(signature)
+            if view is not None and view.pins > 0:
+                view.pins -= 1
+
+    def pinned_views(self) -> List[str]:
+        """Signatures currently held by at least one reader."""
+        with self._mutex:
+            return [s for s, v in self._views.items() if v.pins > 0]
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -192,9 +295,33 @@ class ViewStore:
             view.reuse_count += 1
             self.total_reused += 1
             reuse_count = view.reuse_count
+            self._notify("reused", signature=signature)
         self.recorder.event(obs_events.VIEW_REUSED, job_id=reused_by,
                             signature=signature[:12],
                             reuse_count=reuse_count)
+
+    def claim_for_reuse(self, signature: str, now: float,
+                        reused_by: str = "") -> Optional[MaterializedView]:
+        """Atomic availability re-check + reuse accounting at match time.
+
+        With the GC janitor running concurrently, a view seen by
+        ``lookup`` may be purged or hard-removed before the optimizer
+        commits the match; this re-checks availability and records the
+        reuse under one lock so matching never claims a vanished view.
+        Returns ``None`` when the view is no longer available.
+        """
+        with self._mutex:
+            view = self._views.get(signature)
+            if view is None or not view.available(now):
+                return None
+            view.reuse_count += 1
+            self.total_reused += 1
+            reuse_count = view.reuse_count
+            self._notify("reused", signature=signature)
+        self.recorder.event(obs_events.VIEW_REUSED, job_id=reused_by,
+                            signature=signature[:12],
+                            reuse_count=reuse_count)
+        return view
 
     def is_materializing(self, signature: str, now: float) -> bool:
         """True while a producing job holds the view-in-progress slot."""
@@ -203,13 +330,19 @@ class ViewStore:
             return view is not None and not view.sealed and not view.purged
 
     def evict_expired(self, now: float) -> List[MaterializedView]:
-        """Drop expired views; returns what was evicted."""
+        """Drop expired views; returns what was evicted.
+
+        Views pinned by an in-flight reader are skipped (they expire but
+        stay resident until the last reader unpins; the GC janitor's next
+        sweep collects them).
+        """
         with self._mutex:
             expired = [v for v in self._views.values()
-                       if v.sealed and now >= v.expires_at]
+                       if v.sealed and now >= v.expires_at and v.pins == 0]
             for view in expired:
                 del self._views[view.signature]
                 self.total_expired += 1
+                self._notify("evicted", signature=view.signature, now=now)
         for view in expired:
             self.recorder.event(obs_events.VIEW_EVICTED, at=now,
                                 signature=view.signature[:12],
@@ -248,6 +381,24 @@ class ViewStore:
                        for s in sorted(self._views)]
         payload = json.dumps(records, sort_keys=True).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate lifetime counters (journaled alongside the catalog)."""
+        with self._mutex:
+            return {
+                "total_created": self.total_created,
+                "total_reused": self.total_reused,
+                "total_expired": self.total_expired,
+                "total_purged": self.total_purged,
+                "total_gc_evicted": self.total_gc_evicted,
+            }
+
+    def restore_counters(self, counters: Dict[str, int]) -> None:
+        """Reinstall journaled counters (replay only)."""
+        with self._mutex:
+            for name, value in counters.items():
+                if hasattr(self, name):
+                    setattr(self, name, int(value))
 
     def _require(self, signature: str) -> MaterializedView:
         view = self._views.get(signature)

@@ -34,7 +34,7 @@ def test_lint_suppress_flag_reaches_analyzer(capsys):
                       "--suppress", "sig-salt"])
     payload = json.loads(capsys.readouterr().out)
     assert exit_code == 0
-    assert payload["rules_run"] == 14  # 16 registered minus 2 suppressed
+    assert payload["rules_run"] == 15  # 17 registered minus 2 suppressed
 
 
 def test_lint_list_rules(capsys):

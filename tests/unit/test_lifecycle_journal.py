@@ -1,0 +1,169 @@
+"""Unit tests: the durable catalog journal (WAL + snapshot + recovery)."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.lifecycle import CatalogJournal, LineageRegistry
+from repro.lifecycle.journal import record_to_view, view_to_record
+from repro.storage.views import ViewStore
+
+
+def build_store(ttl=100.0):
+    store = ViewStore(ttl_seconds=ttl)
+    store.begin_materialize("s1", "views/s1", ("a", "b"), "vc1", now=0.0,
+                            recurring_signature="r1")
+    store.seal("s1", now=1.0, row_count=10, size_bytes=80)
+    store.begin_materialize("s2", "views/s2", ("a",), "vc1", now=2.0)
+    store.seal("s2", now=3.0, row_count=5, size_bytes=40)
+    store.record_reuse("s1")
+    return store
+
+
+class TestViewRecords:
+    def test_round_trip_preserves_catalog_record(self):
+        store = build_store()
+        view = store.get("s1")
+        assert record_to_view(view_to_record(view)).catalog_record() \
+            == view.catalog_record()
+
+    def test_restored_view_has_no_definition(self):
+        store = build_store()
+        restored = record_to_view(view_to_record(store.get("s1")))
+        assert restored.definition is None
+        assert restored.pins == 0
+
+
+class TestWal:
+    def test_append_and_read_back(self, tmp_path):
+        journal = CatalogJournal(str(tmp_path))
+        journal.append("created", signature="s1")
+        journal.append("sealed", signature="s1", sealed_at=1.0,
+                       rows=10, bytes=80)
+        ops = journal.wal_ops()
+        assert [op["op"] for op in ops] == ["created", "sealed"]
+        assert journal.ops_written == 2
+        journal.close()
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        journal = CatalogJournal(str(tmp_path))
+        journal.append("reused", signature="s1")
+        journal.close()
+        with open(journal.wal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "reused", "signa')  # crash mid-append
+        ops = journal.wal_ops()
+        assert len(ops) == 1  # intact prefix only
+
+    def test_empty_journal(self, tmp_path):
+        journal = CatalogJournal(str(tmp_path))
+        assert journal.wal_ops() == []
+        assert not journal.stats()["has_snapshot"]
+
+
+class TestSnapshotAndRecovery:
+    def test_snapshot_truncates_wal(self, tmp_path):
+        store = build_store()
+        journal = CatalogJournal(str(tmp_path))
+        journal.append("reused", signature="s1")
+        journal.snapshot(store, LineageRegistry())
+        assert journal.wal_ops() == []
+        assert journal.ops_since_snapshot == 0
+        assert os.path.exists(journal.snapshot_path)
+        journal.close()
+
+    def test_recover_from_snapshot_reproduces_digest(self, tmp_path):
+        store = build_store()
+        lineage = LineageRegistry()
+        lineage.record("s1", frozenset({("Events", "g1")}))
+        journal = CatalogJournal(str(tmp_path))
+        journal.snapshot(store, lineage, epoch=3, runtime_version="r9")
+        journal.close()
+
+        fresh_store = ViewStore()
+        fresh_lineage = LineageRegistry()
+        report = CatalogJournal(str(tmp_path)).recover(
+            fresh_store, fresh_lineage)
+        assert fresh_store.catalog_digest() == store.catalog_digest()
+        assert fresh_store.counters() == store.counters()
+        assert fresh_lineage.inputs_of("s1") == frozenset({("Events", "g1")})
+        assert report.epoch == 3
+        assert report.runtime_version == "r9"
+        assert report.views_restored == 2
+        assert report.skipped == []
+
+    def test_recover_replays_wal_tail(self, tmp_path):
+        store = build_store()
+        journal = CatalogJournal(str(tmp_path))
+        journal.snapshot(store, LineageRegistry())
+        # Mutations after the snapshot land only in the WAL.
+        store.record_reuse("s2")
+        journal.append("reused", signature="s2")
+        store.purge("s1", reason="test")
+        journal.append("purged", signature="s1", reason="test")
+        journal.close()
+
+        fresh = ViewStore()
+        CatalogJournal(str(tmp_path)).recover(fresh, LineageRegistry())
+        assert fresh.catalog_digest() == store.catalog_digest()
+        assert fresh.counters() == store.counters()
+        assert fresh.get("s1").purged
+        assert fresh.get("s2").reuse_count == 1
+
+    def test_recover_replays_removals(self, tmp_path):
+        store = build_store()
+        journal = CatalogJournal(str(tmp_path))
+        journal.snapshot(store, LineageRegistry())
+        store.purge("s2")
+        journal.append("purged", signature="s2")
+        assert store.remove("s2")
+        journal.append("removed", signature="s2")
+        journal.close()
+
+        fresh = ViewStore()
+        CatalogJournal(str(tmp_path)).recover(fresh, LineageRegistry())
+        assert fresh.get("s2") is None
+        assert fresh.catalog_digest() == store.catalog_digest()
+        assert fresh.counters() == store.counters()
+
+    def test_recover_requires_empty_store(self, tmp_path):
+        journal = CatalogJournal(str(tmp_path))
+        with pytest.raises(StorageError):
+            journal.recover(build_store(), LineageRegistry())
+
+    def test_recover_wal_only_no_snapshot(self, tmp_path):
+        store = ViewStore(ttl_seconds=100.0)
+        journal = CatalogJournal(str(tmp_path))
+        store.begin_materialize("s1", "views/s1", ("a",), "vc1", now=0.0)
+        journal.append("created", view=view_to_record(store.get("s1")),
+                       lineage=[["Events", "g1"]])
+        store.seal("s1", now=1.0, row_count=2, size_bytes=16)
+        journal.append("sealed", signature="s1", sealed_at=1.0,
+                       rows=2, bytes=16)
+        journal.close()
+
+        fresh = ViewStore()
+        lineage = LineageRegistry()
+        report = CatalogJournal(str(tmp_path)).recover(fresh, lineage)
+        assert report.snapshot_views == 0
+        assert report.wal_ops == 2
+        assert fresh.catalog_digest() == store.catalog_digest()
+        assert lineage.views_reading_dataset("Events") == {"s1"}
+
+    def test_unknown_op_is_skipped_not_fatal(self, tmp_path):
+        journal = CatalogJournal(str(tmp_path))
+        journal.append("flux-capacitor", signature="s1")
+        journal.close()
+        report = CatalogJournal(str(tmp_path)).recover(
+            ViewStore(), LineageRegistry())
+        assert report.skipped == [["flux-capacitor", "s1"]]
+
+    def test_snapshot_is_atomic_no_tmp_left_behind(self, tmp_path):
+        journal = CatalogJournal(str(tmp_path))
+        journal.snapshot(build_store(), LineageRegistry())
+        assert not os.path.exists(journal.snapshot_path + ".tmp")
+        with open(journal.snapshot_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload["views"]) == 2
+        journal.close()
