@@ -1,0 +1,36 @@
+"""Static concurrency analysis: lock-order soundness for the source tree.
+
+The runtime half of concurrency soundness lives in
+:mod:`repro.common.sync` (tracked locks + the lock sanitizer); this
+package is the static half.  It never imports the code under analysis:
+:mod:`repro.analysis.concurrency.extract` parses the source tree with
+the stdlib ``ast`` module into a :class:`~.model.SourceIndex` (lock
+declarations, acquisition sites, call graph, thread entry points), and
+:mod:`repro.analysis.concurrency.rules` contributes a ``concurrency-*``
+rule family to the existing lint framework via the ``check_source``
+hook.
+
+Wired into ``repro lint`` as the ``source`` workload::
+
+    repro lint --workload source --format json --fail-on error
+"""
+
+from repro.analysis.concurrency.extract import build_index
+from repro.analysis.concurrency.model import (
+    AcquisitionEdge,
+    ClassInfo,
+    LockDecl,
+    LockKey,
+    MethodInfo,
+    SourceIndex,
+)
+
+__all__ = [
+    "AcquisitionEdge",
+    "ClassInfo",
+    "LockDecl",
+    "LockKey",
+    "MethodInfo",
+    "SourceIndex",
+    "build_index",
+]

@@ -1,0 +1,465 @@
+"""AST extraction: source tree -> :class:`~.model.SourceIndex`.
+
+Two passes over every ``*.py`` file under the root, using only the
+stdlib ``ast`` module (the analyzed code is never imported):
+
+* **Pass 1** walks class bodies collecting lock declarations
+  (``self.X = threading.Lock()`` / ``TrackedLock("name", RANK, ...)``)
+  and constructor-based attribute types (``self.store = ViewStore(...)``)
+  so pass 2 can resolve cross-class calls.
+
+* **Pass 2** walks each method body *in source order* with a mutable
+  held-lock stack: ``with self.X:`` pushes for its body, explicit
+  ``.acquire()`` / ``.release()`` pairs push/pop linearly.  Every
+  acquisition, potentially-blocking call, attribute write, resolvable
+  method call, and thread launch is recorded together with the lock set
+  held at that point.
+
+Rank expressions on tracked locks (``RANK_INSIGHTS + 20``) are folded
+against the real constants in :mod:`repro.common.sync`, so the static
+hierarchy check and the runtime sanitizer share one source of truth.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.concurrency.model import (
+    Acquisition,
+    AttrWrite,
+    BlockingCall,
+    ClassInfo,
+    LockDecl,
+    LockKey,
+    LOCK_TYPES,
+    MethodInfo,
+    SourceIndex,
+    TRACKED_TYPES,
+)
+from repro.common import sync as _sync
+
+#: Names that never count as lock-protected state (the locks themselves
+#: and debug bookkeeping).
+_NON_STATE_SUFFIXES = ("mutex", "lock", "cond")
+
+#: ``time.sleep``-style unconditional blockers (error severity).
+_SLEEP_CALLS = {("time", "sleep")}
+
+#: Network-ish module calls flagged as blocking I/O under a lock.
+_NETWORK_MODULES = ("socket", "requests", "urllib", "http")
+
+#: Receiver-name fragments that make ``.join()`` / ``.result()`` /
+#: ``.get()`` count as thread/future/queue blocking (``dict.get`` and
+#: ``str.join`` are far too common to flag unconditionally).
+_THREADISH = ("thread", "worker", "janitor")
+_FUTUREISH = ("future", "fut")
+_QUEUEISH = ("queue",)
+
+#: File-handle-ish receiver fragments for ``.write()`` / ``.flush()``.
+_FILEISH = ("wal", "file", "handle", "fh", "log")
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render a Name/Attribute chain (``a.b.c``); '' when not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    if any(kw.arg == "timeout" for kw in call.keywords):
+        return True
+    return bool(call.args)  # positional timeout (e.g. wait(5.0))
+
+
+def _fold_rank(node: ast.AST) -> Optional[int]:
+    """Fold a rank expression against repro.common.sync's constants."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.Name):
+        value = getattr(_sync, node.id, None)
+        return value if isinstance(value, int) else None
+    if isinstance(node, ast.Attribute):
+        value = getattr(_sync, node.attr, None)
+        return value if isinstance(value, int) else None
+    if isinstance(node, ast.BinOp) and isinstance(node.op,
+                                                  (ast.Add, ast.Sub)):
+        left, right = _fold_rank(node.left), _fold_rank(node.right)
+        if left is None or right is None:
+            return None
+        return left + right if isinstance(node.op, ast.Add) else left - right
+    return None
+
+
+def _lock_ctor(call: ast.Call) -> Optional[str]:
+    """The lock type name when ``call`` constructs a recognized lock."""
+    name = _dotted(call.func)
+    if not name:
+        return None
+    tail = name.rsplit(".", 1)[-1]
+    return tail if tail in LOCK_TYPES else None
+
+
+class _ClassScanner:
+    """Pass 1: lock declarations and attribute types for one class."""
+
+    def __init__(self, cls: ClassInfo, relpath: str) -> None:
+        self.cls = cls
+        self.relpath = relpath
+
+    def scan(self, node: ast.ClassDef, index: SourceIndex) -> None:
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in ast.walk(item):
+                    if isinstance(stmt, ast.Assign):
+                        self._scan_assign(stmt, index)
+
+    def _scan_assign(self, stmt: ast.Assign, index: SourceIndex) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.value, ast.Call):
+            return
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return
+        attr = target.attr
+        call = stmt.value
+        lock_type = _lock_ctor(call)
+        if lock_type is not None:
+            tracked_name = ""
+            rank: Optional[int] = None
+            if lock_type in TRACKED_TYPES:
+                if call.args and isinstance(call.args[0], ast.Constant) \
+                        and isinstance(call.args[0].value, str):
+                    tracked_name = call.args[0].value
+                if len(call.args) > 1:
+                    rank = _fold_rank(call.args[1])
+                for kw in call.keywords:
+                    if kw.arg == "name" and isinstance(kw.value,
+                                                       ast.Constant):
+                        tracked_name = str(kw.value.value)
+                    elif kw.arg == "rank":
+                        rank = _fold_rank(kw.value)
+            self.cls.locks[attr] = LockDecl(
+                key=(self.cls.name, attr), lock_type=lock_type,
+                file=self.relpath, line=stmt.lineno,
+                tracked_name=tracked_name, rank=rank)
+            return
+        ctor = _dotted(call.func)
+        if ctor:
+            # Constructor-based attribute typing, resolved against the
+            # index's class set after all files are parsed.
+            self.cls.attr_types[attr] = ctor.rsplit(".", 1)[-1]
+
+
+class _MethodScanner:
+    """Pass 2: source-order walk of one method body with a held stack."""
+
+    def __init__(self, cls: ClassInfo, method: MethodInfo,
+                 relpath: str) -> None:
+        self.cls = cls
+        self.method = method
+        self.relpath = relpath
+        self.held: List[LockKey] = []
+        #: Local variable -> class name (``v = ViewStore(...)``).
+        self.local_types: Dict[str, str] = {}
+
+    # -------------------------------------------------------------- #
+    # resolution helpers
+
+    def _lock_key(self, node: ast.AST) -> Optional[LockKey]:
+        """Resolve ``self.X`` (or ``self.a._mutex``-style) to a LockKey."""
+        if not isinstance(node, ast.Attribute):
+            return None
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            if node.attr in self.cls.locks:
+                return (self.cls.name, node.attr)
+            # Undeclared but lock-named attribute: still track it so
+            # with-nesting order is visible even without a decl.
+            if any(node.attr.strip("_").endswith(s)
+                   for s in _NON_STATE_SUFFIXES):
+                return (self.cls.name, node.attr)
+            return None
+        # self.child._mutex -> the child's lock, when typed.
+        if isinstance(node.value, ast.Attribute) \
+                and isinstance(node.value.value, ast.Name) \
+                and node.value.value.id == "self":
+            child_cls = self.cls.attr_types.get(node.value.attr)
+            if child_cls:
+                return (child_cls, node.attr)
+        return None
+
+    def _callee(self, call: ast.Call) -> Optional[Tuple[str, str]]:
+        """Resolve a call to (class, method) when statically possible."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = func.value
+        if isinstance(owner, ast.Name):
+            if owner.id == "self":
+                return (self.cls.name, func.attr)
+            local = self.local_types.get(owner.id)
+            if local:
+                return (local, func.attr)
+            return None
+        if isinstance(owner, ast.Attribute) \
+                and isinstance(owner.value, ast.Name) \
+                and owner.value.id == "self":
+            typed = self.cls.attr_types.get(owner.attr)
+            if typed:
+                return (typed, func.attr)
+        return None
+
+    def _held_set(self) -> FrozenSet[LockKey]:
+        return frozenset(self.held)
+
+    # -------------------------------------------------------------- #
+    # the walk
+
+    def scan(self, node: ast.FunctionDef) -> None:
+        for stmt in node.body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.With):
+            self._with(stmt)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs run later, under their own locks
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            value = getattr(stmt, "value", None)
+            if value is not None:
+                self._expr(value)
+            self._assign(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+            return
+        # Leaf statements (Expr, Return, Raise, Assert, Delete, ...):
+        # scan their expression children for calls.
+        for child in ast.iter_child_nodes(stmt):
+            if not isinstance(child, ast.stmt):
+                self._expr(child)
+
+    def _block(self, stmts) -> None:
+        for child in stmts:
+            self._stmt(child)
+
+    def _with(self, stmt: ast.With) -> None:
+        pushed: List[LockKey] = []
+        for item in stmt.items:
+            ctx = item.context_expr
+            # ``with self._mutex:`` or ``with self._mutex.acquire…``
+            key = self._lock_key(ctx)
+            if key is None and isinstance(ctx, ast.Call):
+                self._expr(ctx)
+                continue
+            if key is not None:
+                self.method.acquisitions.append(Acquisition(
+                    key=key, file=self.relpath, line=ctx.lineno,
+                    held=self._held_set(), via="with"))
+                self.held.append(key)
+                pushed.append(key)
+            else:
+                self._expr(ctx)
+        for child in stmt.body:
+            self._stmt(child)
+        for key in reversed(pushed):
+            self.held.remove(key)
+
+    def _assign(self, stmt: ast.stmt) -> None:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            targets, value = [stmt.target], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        # Local constructor typing: ``v = ViewStore(...)``.
+        if value is not None and isinstance(value, ast.Call):
+            ctor = _dotted(value.func)
+            if ctor and len(targets) == 1 \
+                    and isinstance(targets[0], ast.Name):
+                self.local_types[targets[0].id] = ctor.rsplit(".", 1)[-1]
+        for target in targets:
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                attr = target.attr
+                if any(attr.strip("_").endswith(s)
+                       for s in _NON_STATE_SUFFIXES):
+                    continue
+                self.method.attr_writes.append(AttrWrite(
+                    attr=attr, file=self.relpath, line=target.lineno,
+                    method=self.method.name, held=self._held_set()))
+
+    def _expr(self, node: ast.AST) -> None:
+        for call in [n for n in ast.walk(node) if isinstance(n, ast.Call)]:
+            self._call(call)
+
+    def _call(self, call: ast.Call) -> None:
+        func = call.func
+        name = _dotted(func)
+        # ---- manual acquire/release on a resolvable lock ---------- #
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ("acquire", "release"):
+            key = self._lock_key(func.value)
+            if key is not None:
+                if func.attr == "acquire":
+                    self.method.manual_acquires[key] = \
+                        self.method.manual_acquires.get(key, 0) + 1
+                    self.method.acquisitions.append(Acquisition(
+                        key=key, file=self.relpath, line=call.lineno,
+                        held=self._held_set(), via="manual"))
+                    self.held.append(key)
+                else:
+                    self.method.manual_releases[key] = \
+                        self.method.manual_releases.get(key, 0) + 1
+                    if key in self.held:
+                        # Remove the innermost occurrence.
+                        for i in range(len(self.held) - 1, -1, -1):
+                            if self.held[i] == key:
+                                del self.held[i]
+                                break
+                return
+        # ---- thread launches -------------------------------------- #
+        tail = name.rsplit(".", 1)[-1] if name else ""
+        if tail == "Thread":
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    target = kw.value
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        self.method.thread_targets.append(target.attr)
+        elif isinstance(func, ast.Attribute) and func.attr == "submit":
+            if call.args:
+                target = call.args[0]
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    self.method.thread_targets.append(target.attr)
+        # ---- blocking calls under a lock -------------------------- #
+        if self.held:
+            self._classify_blocking(call, name)
+        # ---- resolvable method calls ------------------------------ #
+        callee = self._callee(call)
+        if callee is not None:
+            self.method.calls.append(callee)
+            self.method.calls_held.append(
+                (callee, self._held_set(), call.lineno))
+
+    def _classify_blocking(self, call: ast.Call, name: str) -> None:
+        held = self._held_set()
+        func = call.func
+        attr = func.attr if isinstance(func, ast.Attribute) else ""
+        receiver = _dotted(func.value) if isinstance(func,
+                                                     ast.Attribute) else ""
+        receiver_low = receiver.lower()
+
+        def emit(kind: str, has_timeout: bool = False) -> None:
+            self.method.blocking_calls.append(BlockingCall(
+                kind=kind, call=name or attr, file=self.relpath,
+                line=call.lineno, held=held, has_timeout=has_timeout))
+
+        parts = tuple(name.split(".")) if name else ()
+        if parts[-2:] == ("time", "sleep") or parts == ("time", "sleep") \
+                or (len(parts) == 2 and parts in _SLEEP_CALLS):
+            emit("sleep")
+            return
+        if name and name.split(".", 1)[0] in _NETWORK_MODULES:
+            emit("network")
+            return
+        if attr == "join" and any(s in receiver_low for s in _THREADISH):
+            emit("join", _has_timeout(call))
+            return
+        if attr == "wait":
+            emit("wait", _has_timeout(call))
+            return
+        if attr == "result" and any(s in receiver_low for s in _FUTUREISH):
+            emit("future", _has_timeout(call))
+            return
+        if attr == "get" and any(s in receiver_low for s in _QUEUEISH):
+            emit("queue-get", _has_timeout(call))
+            return
+        if name == "open" or parts[-2:] in (("os", "fsync"),
+                                            ("os", "replace"),
+                                            ("os", "makedirs")) \
+                or parts[-2:] == ("json", "dump") \
+                or (attr in ("write", "flush")
+                    and any(s in receiver_low for s in _FILEISH)):
+            emit("io")
+
+
+def build_index(root: str) -> SourceIndex:
+    """Parse every ``*.py`` under ``root`` into a SourceIndex."""
+    index = SourceIndex(root=root)
+    paths: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d not in ("__pycache__",))
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                paths.append(os.path.join(dirpath, filename))
+    trees: List[Tuple[str, ast.Module]] = []
+    for path in paths:
+        relpath = os.path.relpath(path, root)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError:
+            continue  # not this analyzer's problem
+        index.files.append(relpath)
+        trees.append((relpath, tree))
+    # Pass 1: declarations and attribute types.
+    for relpath, tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                cls = index.classes.setdefault(
+                    node.name, ClassInfo(name=node.name, file=relpath,
+                                         line=node.lineno))
+                _ClassScanner(cls, relpath).scan(node, index)
+    # Pass 2: method bodies.
+    for relpath, tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls = index.classes[node.name]
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                method = MethodInfo(class_name=cls.name, name=item.name,
+                                    file=relpath, line=item.lineno)
+                cls.methods[item.name] = method
+                _MethodScanner(cls, method, relpath).scan(item)
+    return index

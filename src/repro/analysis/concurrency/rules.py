@@ -1,0 +1,253 @@
+"""The ``concurrency-*`` lint rule family (static half of soundness).
+
+Five rules over the :class:`~.model.SourceIndex` extracted by
+:mod:`repro.analysis.concurrency.extract`, registered into the same
+framework as the plan/signature/reuse packs and surfaced through
+``repro lint --workload source``:
+
+* ``concurrency-lock-order`` -- cycles in the lock-acquisition-order
+  graph, and acquisitions that violate the documented descending-rank
+  hierarchy (a thread holding a lock may only take strictly
+  lower-ranked locks).
+* ``concurrency-blocking-under-lock`` -- sleeps, unbounded joins/waits,
+  queue gets and future results without timeouts, and network calls
+  made while holding a lock (error); file I/O under a lock is flagged
+  warn -- the catalog journal's WAL append is a sanctioned site.
+* ``concurrency-unbalanced-acquire`` -- manual ``acquire()`` /
+  ``release()`` counts that do not match within one method (wrapper
+  classes defining both are the API and are exempt).
+* ``concurrency-unguarded-shared-write`` -- an attribute written both
+  from a thread entry point and from the main path with no common lock.
+* ``concurrency-untracked-lock`` -- raw ``threading`` locks that bypass
+  the tracked wrappers (info; they are invisible to the sanitizer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.framework import (
+    AnalysisContext,
+    Finding,
+    Rule,
+    register,
+)
+from repro.analysis.concurrency.model import (
+    AttrWrite,
+    LockKey,
+    SourceIndex,
+    find_cycles,
+)
+
+#: Methods whose job *is* split acquire/release bookkeeping.
+_BALANCE_EXEMPT_METHODS = frozenset(
+    {"acquire", "release", "__enter__", "__exit__", "locked",
+     "_slow_acquire"})
+
+#: Files allowed to construct raw threading primitives (the wrappers).
+_RAW_LOCK_ALLOWED = ("common/sync.py",)
+
+#: Constructors allowed pre-thread: writes in them are never racy.
+_CTOR_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+class SourceRule(Rule):
+    """Base for rules that consume the statically-extracted index."""
+
+    def check_source(self, index: SourceIndex,
+                     ctx: AnalysisContext) -> Iterable[Finding]:
+        return ()
+
+
+@register
+class LockOrderRule(SourceRule):
+    """Lock-order inversions: graph cycles and rank violations."""
+
+    name = "concurrency-lock-order"
+    severity = "error"
+    description = ("lock acquisition order must be acyclic and follow "
+                   "the descending rank hierarchy")
+
+    def check_source(self, index: SourceIndex,
+                     ctx: AnalysisContext) -> Iterable[Finding]:
+        edges = index.acquisition_edges()
+        for cycle in find_cycles(edges):
+            names = [index.display(key) for key in cycle]
+            yield self.finding(
+                "lock-order cycle: " + " -> ".join(names + [names[0]]),
+                path=self._cycle_path(index, edges, cycle),
+                locks=names)
+        for edge in edges:
+            holder = index.lock(edge.holder)
+            acquired = index.lock(edge.acquired)
+            if holder is None or acquired is None:
+                continue
+            if holder.rank is None or acquired.rank is None:
+                continue
+            if acquired.rank >= holder.rank:
+                yield self.finding(
+                    f"hierarchy violation in {edge.method}: acquiring "
+                    f"{acquired.display} (rank {acquired.rank}) while "
+                    f"holding {holder.display} (rank {holder.rank}); "
+                    f"held locks may only take strictly lower ranks",
+                    path=f"{edge.file}:{edge.line}",
+                    operator=edge.method, via=edge.via)
+
+    @staticmethod
+    def _cycle_path(index: SourceIndex, edges, cycle) -> str:
+        pairs = set(zip(cycle, cycle[1:] + cycle[:1]))
+        for edge in edges:
+            if (edge.holder, edge.acquired) in pairs:
+                return f"{edge.file}:{edge.line}"
+        return ""
+
+
+@register
+class BlockingUnderLockRule(SourceRule):
+    """Blocking calls made while holding a lock."""
+
+    name = "concurrency-blocking-under-lock"
+    severity = "error"
+    description = ("no sleeping, unbounded waiting, or network I/O while "
+                   "holding a lock; file I/O under a lock is flagged warn")
+
+    def check_source(self, index: SourceIndex,
+                     ctx: AnalysisContext) -> Iterable[Finding]:
+        for method in index.all_methods():
+            for call in method.blocking_calls:
+                held = ", ".join(sorted(index.display(k)
+                                        for k in call.held))
+                if call.kind == "io":
+                    severity = "warn"
+                    why = "file I/O"
+                elif call.kind in ("join", "wait", "queue-get", "future") \
+                        and call.has_timeout:
+                    severity = "warn"
+                    why = f"bounded {call.kind}"
+                else:
+                    severity = "error"
+                    why = {"sleep": "sleep", "network": "network call",
+                           "join": "unbounded join",
+                           "wait": "unbounded wait",
+                           "queue-get": "queue get without timeout",
+                           "future": "future result without timeout",
+                           }.get(call.kind, call.kind)
+                yield self.finding(
+                    f"{why} ({call.call}) in {method.qualname} while "
+                    f"holding [{held}]",
+                    severity=severity,
+                    path=f"{call.file}:{call.line}",
+                    operator=method.qualname, kind=call.kind)
+
+
+@register
+class UnbalancedAcquireRule(SourceRule):
+    """Manual acquire()/release() counts must match per method."""
+
+    name = "concurrency-unbalanced-acquire"
+    severity = "error"
+    description = ("explicit lock acquire() and release() calls must "
+                   "balance within a method")
+
+    def check_source(self, index: SourceIndex,
+                     ctx: AnalysisContext) -> Iterable[Finding]:
+        for cls in index.classes.values():
+            if cls.is_lock_wrapper:
+                continue  # wrappers re-export the split as their API
+            for method in cls.methods.values():
+                if method.name in _BALANCE_EXEMPT_METHODS:
+                    continue
+                keys = set(method.manual_acquires) | \
+                    set(method.manual_releases)
+                for key in sorted(keys):
+                    acquired = method.manual_acquires.get(key, 0)
+                    released = method.manual_releases.get(key, 0)
+                    if acquired != released:
+                        yield self.finding(
+                            f"{method.qualname} acquires "
+                            f"{index.display(key)} {acquired}x but "
+                            f"releases it {released}x; use a with-block "
+                            f"or balance the calls",
+                            path=f"{method.file}:{method.line}",
+                            operator=method.qualname,
+                            acquires=acquired, releases=released)
+
+
+@register
+class UnguardedSharedWriteRule(SourceRule):
+    """Attributes written from a thread and the main path need one lock."""
+
+    name = "concurrency-unguarded-shared-write"
+    severity = "error"
+    description = ("an attribute written from both a thread entry point "
+                   "and the main path must share a guarding lock")
+
+    def check_source(self, index: SourceIndex,
+                     ctx: AnalysisContext) -> Iterable[Finding]:
+        reachable = index.thread_reachable()
+        for cls in index.classes.values():
+            writes: Dict[str, Tuple[List[AttrWrite], List[AttrWrite]]] = {}
+            for method in cls.methods.values():
+                if method.name in _CTOR_METHODS:
+                    continue  # pre-thread construction is never racy
+                side = 0 if method.qualname in reachable else 1
+                for write in method.attr_writes:
+                    writes.setdefault(write.attr,
+                                      ([], []))[side].append(write)
+            for attr in sorted(writes):
+                thread_side, main_side = writes[attr]
+                if not thread_side or not main_side:
+                    continue
+                for tw in thread_side:
+                    for mw in main_side:
+                        if tw.held & mw.held:
+                            continue
+                        yield self.finding(
+                            f"{cls.name}.{attr} is written from thread "
+                            f"path {cls.name}.{tw.method} (holding "
+                            f"{self._held(index, tw)}) and main path "
+                            f"{cls.name}.{mw.method} (holding "
+                            f"{self._held(index, mw)}) with no common "
+                            f"lock",
+                            path=f"{tw.file}:{tw.line}",
+                            operator=f"{cls.name}.{tw.method}",
+                            attr=attr,
+                            main_site=f"{mw.file}:{mw.line}")
+                        break  # one finding per offending thread write
+                    else:
+                        continue
+                    break  # and one per attribute
+
+    @staticmethod
+    def _held(index: SourceIndex, write: AttrWrite) -> str:
+        if not write.held:
+            return "nothing"
+        return "[" + ", ".join(sorted(index.display(k)
+                                      for k in write.held)) + "]"
+
+
+@register
+class UntrackedLockRule(SourceRule):
+    """Raw threading locks bypass the sanitizer and the histograms."""
+
+    name = "concurrency-untracked-lock"
+    severity = "info"
+    description = ("raw threading.Lock/RLock/Condition declarations are "
+                   "invisible to the runtime sanitizer; prefer "
+                   "TrackedLock/TrackedRLock from repro.common.sync")
+
+    def check_source(self, index: SourceIndex,
+                     ctx: AnalysisContext) -> Iterable[Finding]:
+        for decl in index.all_locks():
+            if decl.tracked:
+                continue
+            normalized = decl.file.replace("\\", "/")
+            if any(normalized.endswith(allowed)
+                   for allowed in _RAW_LOCK_ALLOWED):
+                continue
+            yield self.finding(
+                f"{decl.key[0]}.{decl.key[1]} is a raw "
+                f"threading.{decl.lock_type}; the sanitizer cannot see "
+                f"it -- wrap it in a tracked lock with a rank",
+                path=f"{decl.file}:{decl.line}",
+                operator=decl.key[0], lock_type=decl.lock_type)

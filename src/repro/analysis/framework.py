@@ -114,6 +114,12 @@ class Rule:
                     ctx: "AnalysisContext") -> Iterable[Finding]:
         return ()
 
+    def check_source(self, index: object,
+                     ctx: "AnalysisContext") -> Iterable[Finding]:
+        """Static source analysis (``index`` is a
+        :class:`repro.analysis.concurrency.SourceIndex`)."""
+        return ()
+
     def finding(self, message: str, severity: Optional[str] = None,
                 operator: str = "", path: str = "",
                 **detail: object) -> Finding:
@@ -135,12 +141,13 @@ def register(cls: type) -> type:
 
 
 def default_rules() -> List[Rule]:
-    """Fresh instances of every registered rule (all three packs)."""
+    """Fresh instances of every registered rule (all the packs)."""
     # Importing the packs populates REGISTRY; deferred to avoid cycles.
     from repro.analysis import lifecycle_rules  # noqa: F401
     from repro.analysis import plan_rules  # noqa: F401
     from repro.analysis import reuse_rules  # noqa: F401
     from repro.analysis import signature_rules  # noqa: F401
+    from repro.analysis.concurrency import rules as concurrency_rules  # noqa: F401,E501
     return [cls() for _, cls in sorted(REGISTRY.items())]
 
 
@@ -204,13 +211,28 @@ class Report:
         """CI contract: non-zero iff any error-severity finding."""
         return 0 if self.ok else 1
 
+    def exit_code_at(self, fail_on: str = "error") -> int:
+        """Exit code with a configurable severity threshold.
+
+        ``fail_on="warn"`` fails on warnings *or* errors; ``"info"``
+        fails on any finding at all.  The default matches
+        :attr:`exit_code`.
+        """
+        if fail_on not in _RANK:
+            raise ConfigError(f"unknown fail-on severity {fail_on!r}")
+        threshold = _RANK[fail_on]
+        return 1 if any(f.rank >= threshold for f in self.findings) else 0
+
     def counts(self) -> Dict[str, int]:
         return {severity: len(self.by_severity(severity))
                 for severity in SEVERITIES}
 
     def sorted_findings(self) -> List[Finding]:
+        # The full key (through operator and message) makes the JSON
+        # rendering byte-stable across runs for CI diffing.
         return sorted(self.findings,
-                      key=lambda f: (-f.rank, f.rule, f.job_id, f.path))
+                      key=lambda f: (-f.rank, f.rule, f.job_id, f.path,
+                                     f.operator, f.message))
 
     def render_text(self) -> str:
         lines: List[str] = []
@@ -332,6 +354,22 @@ class Analyzer:
         for rule in self.rules:
             for finding in self._guard(rule, rule.check_workload,
                                        acyclic, ctx):
+                self._record(report, finding, "", ctx)
+        return report
+
+    def analyze_source(self, index: object,
+                       ctx: Optional[AnalysisContext] = None) -> Report:
+        """Static rules over an extracted source index.
+
+        ``index`` is a :class:`repro.analysis.concurrency.SourceIndex`;
+        rules without a ``check_source`` implementation contribute
+        nothing, so the plan/signature packs coexist transparently.
+        """
+        ctx = ctx or AnalysisContext()
+        report = Report()
+        report.rules_run = len(self.rules)
+        for rule in self.rules:
+            for finding in self._guard(rule, rule.check_source, index, ctx):
                 self._record(report, finding, "", ctx)
         return report
 

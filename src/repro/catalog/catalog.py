@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import CatalogError
 from repro.common.hashing import stable_hash
+from repro.common.sync import RANK_CATALOG, TrackedRLock
 from repro.catalog.schema import TableSchema
 
 #: Version observer: ``observer(version, previous)`` with ``previous``
@@ -58,23 +59,35 @@ class DatasetEntry:
 
 
 class Catalog:
-    """Registry of datasets and their stream versions."""
+    """Registry of datasets and their stream versions.
+
+    Thread-safe: bulk updates and GDPR forgets arrive from operator
+    tooling and the lifecycle manager while compiling worker threads look
+    up schemas and current GUIDs.  The mutex sits at the *bottom* of the
+    lock hierarchy (rank ``catalog``) because every other subsystem reads
+    the catalog; version observers are therefore dispatched *after* the
+    mutex is released -- the lifecycle bus they publish into ranks far
+    above this lock.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, DatasetEntry] = {}
         self._guid_counter = 0
         self._observers: List[VersionObserver] = []
+        self._mutex = TrackedRLock("catalog", RANK_CATALOG)
 
     # ------------------------------------------------------------------ #
     # version observers
 
     def subscribe(self, observer: VersionObserver) -> None:
         """Deliver every future stream-version installation, in order."""
-        self._observers.append(observer)
+        with self._mutex:
+            self._observers.append(observer)
 
     def unsubscribe(self, observer: VersionObserver) -> None:
-        if observer in self._observers:
-            self._observers.remove(observer)
+        with self._mutex:
+            if observer in self._observers:
+                self._observers.remove(observer)
 
     # ------------------------------------------------------------------ #
     # registration and lookup
@@ -82,20 +95,23 @@ class Catalog:
     def register(self, schema: TableSchema, row_count: int = 0,
                  created_at: float = 0.0) -> StreamVersion:
         """Register a new dataset and create its initial stream version."""
-        if schema.name in self._entries:
-            raise CatalogError(f"dataset {schema.name!r} already registered")
-        entry = DatasetEntry(schema)
-        self._entries[schema.name] = entry
+        with self._mutex:
+            if schema.name in self._entries:
+                raise CatalogError(
+                    f"dataset {schema.name!r} already registered")
+            self._entries[schema.name] = DatasetEntry(schema)
         return self._new_version(schema.name, row_count, created_at, "initial")
 
     def has(self, name: str) -> bool:
-        return name in self._entries
+        with self._mutex:
+            return name in self._entries
 
     def entry(self, name: str) -> DatasetEntry:
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise CatalogError(f"unknown dataset {name!r}") from None
+        with self._mutex:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise CatalogError(f"unknown dataset {name!r}") from None
 
     def schema(self, name: str) -> TableSchema:
         return self.entry(name).schema
@@ -107,7 +123,8 @@ class Catalog:
         return self.current_version(name).guid
 
     def datasets(self) -> List[str]:
-        return sorted(self._entries)
+        with self._mutex:
+            return sorted(self._entries)
 
     # ------------------------------------------------------------------ #
     # updates
@@ -129,30 +146,35 @@ class Catalog:
     def set_row_count(self, name: str, row_count: int) -> None:
         """Adjust the current version's statistics in place (used when a
         data store materializes actual rows for an abstract registration)."""
-        entry = self.entry(name)
-        current = entry.current
-        entry.versions[-1] = StreamVersion(
-            current.dataset, current.guid, current.created_at,
-            row_count, row_count * entry.schema.row_width, current.reason)
+        with self._mutex:
+            entry = self.entry(name)
+            current = entry.current
+            entry.versions[-1] = StreamVersion(
+                current.dataset, current.guid, current.created_at,
+                row_count, row_count * entry.schema.row_width, current.reason)
 
     # ------------------------------------------------------------------ #
     # internals
 
     def _new_version(self, name: str, row_count: int, at: float,
                      reason: str) -> StreamVersion:
-        entry = self.entry(name)
-        previous = entry.versions[-1] if entry.versions else None
-        self._guid_counter += 1
-        guid = stable_hash("stream", name, self._guid_counter, reason)
-        version = StreamVersion(
-            dataset=name,
-            guid=guid,
-            created_at=at,
-            row_count=row_count,
-            size_bytes=row_count * entry.schema.row_width,
-            reason=reason,
-        )
-        entry.versions.append(version)
-        for observer in list(self._observers):
+        with self._mutex:
+            entry = self.entry(name)
+            previous = entry.versions[-1] if entry.versions else None
+            self._guid_counter += 1
+            guid = stable_hash("stream", name, self._guid_counter, reason)
+            version = StreamVersion(
+                dataset=name,
+                guid=guid,
+                created_at=at,
+                row_count=row_count,
+                size_bytes=row_count * entry.schema.row_width,
+                reason=reason,
+            )
+            entry.versions.append(version)
+            observers = list(self._observers)
+        # Observers run the invalidation cascade (bus, store, insights),
+        # all of which rank above the catalog mutex -- dispatch unlocked.
+        for observer in observers:
             observer(version, previous)
         return version

@@ -320,11 +320,12 @@ class ScopeEngine:
 
         Every ViewScan's backing view is *pinned* for the duration of the
         run: the lifecycle GC janitor sweeps concurrently, and a pinned
-        view is never hard-removed mid-scan.
+        view is never hard-removed mid-scan.  If a claimed view vanished
+        in the window between the matcher's claim and this pin (a GC
+        sweep or purge cascade won the race), the job falls back to a
+        reuse-free recompile -- a lost claim is just a recompute.
         """
-        pinned = [node.signature for node in compiled.plan.walk()
-                  if isinstance(node, ViewScan)
-                  and self.view_store.pin(node.signature)]
+        compiled, pinned = self._pin_view_scans(compiled, now)
         try:
             try:
                 result = self.executor.execute(compiled.plan)
@@ -341,6 +342,44 @@ class ScopeEngine:
         if record_history:
             self._record_history(result)
         return run
+
+    def _pin_view_scans(self, compiled: CompiledJob,
+                        now: float) -> Tuple[CompiledJob, List[str]]:
+        """Pin every ViewScan's backing view; recompile on a lost view.
+
+        A view claimed at compile time is only protected from the GC
+        janitor once its reader holds a pin, so a sweep landing between
+        compile and execute can evict the view (and delete its blobs)
+        out from under the plan.  When any pin fails, the already-taken
+        pins are released and the job is recompiled with reuse disabled,
+        which produces a plan with no ViewScans at all.
+        """
+        pinned: List[str] = []
+        lost = False
+        for node in compiled.plan.walk():
+            if not isinstance(node, ViewScan):
+                continue
+            if self.view_store.pin(node.signature):
+                pinned.append(node.signature)
+            else:
+                lost = True
+        if not lost:
+            return compiled, pinned
+        for signature in pinned:
+            self.view_store.unpin(signature)
+        self.recorder.inc("execute.reuse_fallbacks")
+        self.recorder.event(obs_events.REUSE_FALLBACK, at=now,
+                            job_id=compiled.job_id,
+                            virtual_cluster=compiled.virtual_cluster)
+        recompiled = self.compile(
+            compiled.sql,
+            params=compiled.params,
+            virtual_cluster=compiled.virtual_cluster,
+            reuse_enabled=False,
+            now=now,
+            job_id=compiled.job_id,
+        )
+        return recompiled, []
 
     def seal_spooled(self, run: JobRun, signature: str, at: float) -> None:
         """Early-seal one view produced by ``run`` at simulated time ``at``."""

@@ -71,7 +71,12 @@ def extension_rules(ctx: OptimizerContext
     """
 
     def computation_reuse_rule(plan: LogicalPlan, now: float) -> LogicalPlan:
-        return match_views(plan, ctx, now).plan
+        outcome = match_views(plan, ctx, now)
+        # The rewritten plan is handed straight to the caller's pipeline;
+        # the compile-time pins the claims took are released here and
+        # execution re-pins around the scan.
+        outcome.release_claims(ctx.view_store)
+        return outcome.plan
 
     def online_materialization_rule(plan: LogicalPlan, now: float) -> LogicalPlan:
         return insert_spools(plan, ctx, now).plan

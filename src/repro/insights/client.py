@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import ConfigError, InsightsError, InsightsTimeout
+from repro.common.sync import RANK_INSIGHTS, TrackedLock
 from repro.insights.service import InsightsService
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
@@ -109,7 +110,9 @@ class FaultInjector:
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"{name} must be in [0, 1]")
         self._rng = random.Random(f"fault-injector-{self.seed}")
-        self._lock = threading.Lock()
+        # Leaf-of-band guard for the shared RNG: rolled from every worker
+        # thread's round trip, never holds anything else.
+        self._lock = TrackedLock("insights.injector", RANK_INSIGHTS + 10)
 
     @property
     def active(self) -> bool:
@@ -137,7 +140,7 @@ class CircuitBreaker:
     def __init__(self, config: InsightsClientConfig,
                  recorder=NULL_RECORDER) -> None:
         self._config = config
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("insights.breaker", RANK_INSIGHTS + 30)
         self._state = CLOSED
         self._consecutive_failures = 0
         self._open_fetches = 0
@@ -146,6 +149,15 @@ class CircuitBreaker:
         self.recorder = recorder
         #: Transition log as (state, fetch-ordinal-free) tuples for tests.
         self.transitions: List[str] = []
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        self._lock.recorder = value
 
     @property
     def state(self) -> str:
@@ -257,7 +269,11 @@ class InsightsClient:
         self._recorder = recorder
         self.breaker = CircuitBreaker(self.config, recorder=recorder)
         self._jitter_rng = random.Random(f"client-jitter-{self.config.seed}")
-        self._mutex = threading.Lock()
+        # Top of the insights band: guards the cache and batch queue and
+        # is never held across a serving round trip (the leader swaps the
+        # pending list out under the mutex, then round-trips unlocked).
+        self._mutex = TrackedLock("insights.client", RANK_INSIGHTS + 40,
+                                  recorder)
         self._cache: Dict[str, _CacheEntry] = {}
         self._pending: List[_Request] = []
         self._leader_active = False
@@ -281,6 +297,7 @@ class InsightsClient:
     @recorder.setter
     def recorder(self, value) -> None:
         self._recorder = value
+        self._mutex.recorder = value
         self.breaker.recorder = value
         self.service.recorder = value
 

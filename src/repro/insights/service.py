@@ -17,7 +17,9 @@ the uber control for gate keeping and toggling during customer incidents"
 
 The service is shared mutable state between every concurrently compiling
 job, so all of its tables (annotation index, serving cache, lock table)
-and the :class:`UsageMetrics` counters are guarded by one reentrant lock.
+are guarded by one tracked mutex in the ``insights`` band of the lock
+hierarchy, with the :class:`UsageMetrics` counters behind their own
+lower-ranked guard (see :mod:`repro.common.sync`).
 In particular :meth:`acquire_view_lock` is an atomic check-and-set: it is
 the real guard against duplicate view buildout when many jobs compile the
 same subexpression in parallel.  ``last_fetch_latency`` is thread-local:
@@ -31,6 +33,7 @@ import threading
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.common.errors import InsightsError
+from repro.common.sync import RANK_INSIGHTS, TrackedLock
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
 from repro.optimizer.context import Annotation
@@ -63,7 +66,9 @@ class UsageMetrics:
     __slots__ = _USAGE_FIELDS + ("_lock",)
 
     def __init__(self, **initial: int) -> None:
-        self._lock = threading.Lock()
+        # Terminal counter guard: acquired under the service mutex (via
+        # ``_charge_tag``), so it sits at the bottom of the insights band.
+        self._lock = TrackedLock("insights.metrics", RANK_INSIGHTS)
         for name in _USAGE_FIELDS:
             setattr(self, name, int(initial.pop(name, 0)))
         if initial:
@@ -101,7 +106,11 @@ class InsightsService:
         self._by_recurring: Dict[str, Annotation] = {}
         self._locks: Dict[str, str] = {}  # strict signature -> holder job id
         self._cache: Set[str] = set()
-        self._mutex = threading.RLock()
+        # One tracked, non-reentrant mutex for every service table; the
+        # only lock it may take while held is the UsageMetrics counter
+        # guard, which ranks strictly below it in the insights band.
+        self._mutex = TrackedLock("insights.service", RANK_INSIGHTS + 20,
+                                  recorder)
         self._fetch_state = threading.local()
         #: Bumped on every :meth:`publish`; clients key their local caches
         #: by it so a re-selection invalidates everything at once.
@@ -109,6 +118,18 @@ class InsightsService:
         self.metrics = UsageMetrics()
         #: Flight recorder (no-op unless a real one is installed).
         self.recorder = recorder
+
+    # ------------------------------------------------------------------ #
+    # recorder plumbing (FlightRecorder.install sets ``.recorder``)
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        self._mutex.recorder = value
 
     @property
     def enabled(self) -> bool:

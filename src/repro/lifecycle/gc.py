@@ -25,6 +25,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.common.clock import SECONDS_PER_DAY
+from repro.common.sync import RANK_LIFECYCLE, TrackedLock
+from repro.obs import events as obs_events
+from repro.obs.recorder import NULL_RECORDER
 from repro.storage.views import MaterializedView
 
 
@@ -74,13 +77,15 @@ class GcJanitor:
 
     def __init__(self, sweep: Callable[[float], SweepResult],
                  interval_seconds: float = 60.0,
-                 clock: Optional[Callable[[], float]] = None) -> None:
+                 clock: Optional[Callable[[], float]] = None,
+                 recorder=NULL_RECORDER) -> None:
         self._sweep = sweep
         self.interval_seconds = interval_seconds
         self.clock = clock or time.time
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        self._mutex = threading.Lock()
+        self._mutex = TrackedLock("lifecycle.gc", RANK_LIFECYCLE + 10)
+        self.recorder = recorder
         self.sweeps = 0
         self.last_result: Optional[SweepResult] = None
 
@@ -96,12 +101,29 @@ class GcJanitor:
             target=self._loop, name="repro-gc-janitor", daemon=True)
         self._thread.start()
 
-    def stop(self, timeout: float = 5.0) -> None:
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Shut the janitor down; returns True once no thread remains.
+
+        Idempotent: calling again after a successful (or never-started)
+        stop is a no-op returning True.  If the thread fails to join
+        within ``timeout`` (a sweep wedged on a lock or a huge catalog),
+        the daemon is *not* forgotten: the thread handle is kept so a
+        later ``stop()`` can try again, and the failure is reported both
+        by the return value and a ``gc.stop_timeout`` recorder event
+        instead of being silently leaked.
+        """
         self._stop.set()
         thread = self._thread
-        if thread is not None:
-            thread.join(timeout=timeout)
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            self.recorder.event(obs_events.GC_STOP_TIMEOUT,
+                                timeout_seconds=timeout,
+                                thread=thread.name, sweeps=self.sweeps)
+            return False
         self._thread = None
+        return True
 
     def run_once(self, now: Optional[float] = None) -> SweepResult:
         """One synchronous sweep (CLI ``repro gc --sweep`` and tests)."""

@@ -16,9 +16,10 @@ could still match a doomed view.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Callable, List
+
+from repro.common.sync import RANK_LIFECYCLE, TrackedRLock
 
 
 @dataclass(frozen=True)
@@ -70,7 +71,11 @@ class InvalidationBus:
     """
 
     def __init__(self) -> None:
-        self._mutex = threading.RLock()
+        # The outermost coordination lock in the process: held across a
+        # whole purge cascade (store, insights, catalog, journal), so it
+        # carries the highest rank in the hierarchy.  Reentrant because a
+        # cascade's side effects may publish follow-up events.
+        self._mutex = TrackedRLock("lifecycle.bus", RANK_LIFECYCLE + 20)
         self._handlers: List[Handler] = []
         self._published: List[LifecycleEvent] = []
 

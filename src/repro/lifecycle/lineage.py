@@ -16,8 +16,9 @@ on top of views.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.common.sync import RANK_LEAF, TrackedLock
 
 #: One lineage edge: (dataset name, stream GUID the view was built over).
 Input = Tuple[str, str]
@@ -54,7 +55,9 @@ class LineageRegistry:
     """
 
     def __init__(self) -> None:
-        self._mutex = threading.Lock()
+        # Leaf rank: recorded under the view store's mutation feed and
+        # read under the invalidation bus; never acquires anything.
+        self._mutex = TrackedLock("lifecycle.lineage", RANK_LEAF + 20)
         #: view strict signature -> frozenset of (dataset, guid).
         self._inputs: Dict[str, FrozenSet[Input]] = {}
         #: dataset name -> set of dependent view signatures.

@@ -105,7 +105,8 @@ class LifecycleManager:
         self.janitor = GcJanitor(
             self.sweep,
             interval_seconds=self.config.gc_interval_seconds,
-            clock=self.config.clock or time.time)
+            clock=self.config.clock or time.time,
+            recorder=self.recorder)
         if self.config.start_janitor:
             self.janitor.start()
         engine.lifecycle = self
@@ -391,6 +392,10 @@ class LifecycleManager:
 
     def close(self) -> None:
         """Stop the janitor, snapshot, and detach from the engine."""
+        # Refresh the janitor's recorder first: a FlightRecorder may have
+        # been installed on the engine after construction, and a stop
+        # timeout must land in the same capture as everything else.
+        self.janitor.recorder = self.recorder
         self.janitor.stop()
         if self.journal is not None:
             self.snapshot()

@@ -53,6 +53,13 @@ GC_SWEEP = "gc.sweep"
 EPOCH_BUMPED = "epoch.bumped"
 JOURNAL_SNAPSHOT = "journal.snapshot"
 JOURNAL_RECOVERED = "journal.recovered"
+# Concurrency soundness: the runtime lock sanitizer's findings (hierarchy
+# violations, wait-for cycles) and the GC janitor failing to shut down.
+SANITIZER_VIOLATION = "sanitizer.violation"
+GC_STOP_TIMEOUT = "gc.stop_timeout"
+# A claimed view vanished between compile and execute (the GC sweep won
+# the race); the job fell back to a reuse-free recompile.
+REUSE_FALLBACK = "execute.reuse_fallback"
 
 ALL_KINDS = (
     VIEW_CREATED, VIEW_SEALED, VIEW_REUSED, VIEW_INVALIDATED, VIEW_EVICTED,
@@ -62,6 +69,7 @@ ALL_KINDS = (
     FETCH_DEGRADED, FETCH_RETRY, SCHEDULER_WAVE,
     LIFECYCLE_CASCADE, GC_SWEEP, EPOCH_BUMPED,
     JOURNAL_SNAPSHOT, JOURNAL_RECOVERED,
+    SANITIZER_VIOLATION, GC_STOP_TIMEOUT, REUSE_FALLBACK,
 )
 
 

@@ -60,19 +60,26 @@ def optimize(plan: LogicalPlan, ctx: OptimizerContext,
         "view.match", trace_id=ctx.trace_id, at=now, parent=ctx.compile_span)
     matched = match_views(logical, ctx, now)
     match_span.annotate("matches", len(matched.matches)).finish(at=now)
-    if ctx.debug_checks:
-        _assert_sound(matched.plan, ctx, "post-match", now,
-                      matches=matched.matches)
+    # The claims hold pins until compilation is done: the debug lints
+    # below re-query the live view store, and without the pins a
+    # concurrent GC sweep could evict (or another producer re-begin) a
+    # claimed view between the claim and the lint, failing a sound plan.
+    try:
+        if ctx.debug_checks:
+            _assert_sound(matched.plan, ctx, "post-match", now,
+                          matches=matched.matches)
 
-    build_span = ctx.recorder.start_span(
-        "view.buildout", trace_id=ctx.trace_id, at=now,
-        parent=ctx.compile_span)
-    built = insert_spools(matched.plan, ctx, now)
-    build_span.annotate("proposals", len(built.proposals)).finish(at=now)
-    if ctx.debug_checks:
-        _assert_sound(built.plan, ctx, "post-buildout", now)
+        build_span = ctx.recorder.start_span(
+            "view.buildout", trace_id=ctx.trace_id, at=now,
+            parent=ctx.compile_span)
+        built = insert_spools(matched.plan, ctx, now)
+        build_span.annotate("proposals", len(built.proposals)).finish(at=now)
+        if ctx.debug_checks:
+            _assert_sound(built.plan, ctx, "post-buildout", now)
 
-    final_cost = ctx.cost_model.plan_cost(built.plan, ctx.estimator())
+        final_cost = ctx.cost_model.plan_cost(built.plan, ctx.estimator())
+    finally:
+        matched.release_claims(ctx.view_store)
     return OptimizedPlan(
         plan=built.plan,
         logical=logical,

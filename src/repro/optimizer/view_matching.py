@@ -50,6 +50,17 @@ class MatchOutcome:
     def reused(self) -> bool:
         return bool(self.matches)
 
+    def release_claims(self, view_store) -> None:
+        """Release the compile-time pins the claims took.
+
+        ``claim_for_reuse`` pins each claimed view so the rest of
+        compilation never sees it swept or rebuilt mid-flight; whoever
+        drives matching must release those pins once the compiled plan
+        is final (execution re-pins around the actual scan).
+        """
+        for match in self.matches:
+            view_store.unpin(match.signature)
+
 
 def match_views(plan: LogicalPlan, ctx: OptimizerContext,
                 now: float) -> MatchOutcome:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import AdmissionError, ConfigError, SchedulerError
+from repro.common.sync import RANK_SCHEDULER, TrackedLock
 from repro.engine.engine import JobRun, ScopeEngine
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
@@ -123,7 +124,8 @@ class JobScheduler:
             max_workers=self.config.workers,
             thread_name_prefix="repro-sched")
         self._pending: List[_Pending] = []
-        self._mutex = threading.Lock()
+        self._mutex = TrackedLock("scheduler", RANK_SCHEDULER,
+                                  self.recorder)
         self._slots = (threading.BoundedSemaphore(self.config.max_pending)
                        if self.config.max_pending else None)
         self._closed = False

@@ -8,10 +8,10 @@ what the producing job wrote.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List
 
 from repro.common.errors import StorageError
+from repro.common.sync import RANK_STORAGE, TrackedLock
 from repro.plan.expressions import Row
 
 
@@ -25,7 +25,7 @@ class DataStore:
 
     def __init__(self) -> None:
         self._blobs: Dict[str, List[Row]] = {}
-        self._mutex = threading.Lock()
+        self._mutex = TrackedLock("storage.data", RANK_STORAGE)
         self.bytes_written = 0
         self.bytes_read = 0
 

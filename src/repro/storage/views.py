@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.clock import SECONDS_PER_WEEK
 from repro.common.errors import StorageError
+from repro.common.sync import RANK_STORAGE, TrackedRLock
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
 
@@ -103,7 +103,11 @@ class ViewStore:
                  recorder=NULL_RECORDER):
         self.ttl_seconds = ttl_seconds
         self._views: Dict[str, MaterializedView] = {}
-        self._mutex = threading.RLock()
+        # Reentrant: listener dispatch holds the mutex and the journal's
+        # snapshot path re-enters through :meth:`views`.  Ranked a notch
+        # above the blob store so a view mutation may consult it.
+        self._mutex = TrackedRLock("storage.views", RANK_STORAGE + 10,
+                                   recorder)
         self.total_created = 0
         self.total_reused = 0
         self.total_expired = 0
@@ -114,6 +118,18 @@ class ViewStore:
         #: Mutation listeners (the lifecycle manager's journal/lineage
         #: feed); see :data:`StoreListener`.
         self._listeners: List[StoreListener] = []
+
+    # ------------------------------------------------------------------ #
+    # recorder plumbing (FlightRecorder.install sets ``.recorder``)
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        self._mutex.recorder = value
 
     # ------------------------------------------------------------------ #
     # listeners (the lifecycle subsystem's feed)
@@ -249,10 +265,17 @@ class ViewStore:
     # pinning (in-flight readers)
 
     def pin(self, signature: str) -> bool:
-        """Mark one in-flight reader; pinned views are never removed."""
+        """Mark one in-flight reader; pinned views are never removed.
+
+        Only a sealed, unpurged view is pinnable: a reader expects the
+        sealed blob, and after a GC sweep another producer may have
+        re-begun the same signature, leaving an unsealed record whose
+        data does not exist yet.  Refusing the pin routes the reader to
+        the reuse-free fallback instead of a missing blob.
+        """
         with self._mutex:
             view = self._views.get(signature)
-            if view is None:
+            if view is None or not view.sealed or view.purged:
                 return False
             view.pins += 1
             return True
@@ -309,11 +332,19 @@ class ViewStore:
         commits the match; this re-checks availability and records the
         reuse under one lock so matching never claims a vanished view.
         Returns ``None`` when the view is no longer available.
+
+        A successful claim also takes a *pin*: the rest of compilation
+        (cost finalization, debug-mode soundness lints) sees the claimed
+        record sealed and present instead of racing the janitor.  The
+        optimizer releases the pin when compilation finishes
+        (:meth:`~repro.optimizer.view_matching.MatchOutcome.release_claims`);
+        execution re-pins for the duration of the actual scan.
         """
         with self._mutex:
             view = self._views.get(signature)
             if view is None or not view.available(now):
                 return None
+            view.pins += 1
             view.reuse_count += 1
             self.total_reused += 1
             reuse_count = view.reuse_count

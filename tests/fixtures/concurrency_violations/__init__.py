@@ -1,0 +1,7 @@
+"""Seeded concurrency violations for the static analyzer's tests.
+
+Every module here contains a deliberate bug the ``concurrency-*`` rule
+family must detect.  The filenames are deliberately not ``test_*`` so
+pytest never collects them, and nothing imports them at runtime -- the
+analyzer parses them with ``ast`` only.
+"""

@@ -1,0 +1,37 @@
+"""Seeded violations: lock-order cycle and rank-hierarchy inversion."""
+
+import threading
+
+from repro.common.sync import TrackedLock
+
+
+class CycledPair:
+    """Acquires its two locks in both orders: a classic ABBA deadlock."""
+
+    def __init__(self) -> None:
+        self._table_mutex = threading.Lock()
+        self._index_mutex = threading.Lock()
+        self.rows = 0
+
+    def insert(self) -> None:
+        with self._table_mutex:
+            with self._index_mutex:
+                self.rows += 1
+
+    def reindex(self) -> None:
+        with self._index_mutex:
+            with self._table_mutex:
+                self.rows += 0
+
+
+class RankInverter:
+    """Holds a low-ranked tracked lock while taking a higher rank."""
+
+    def __init__(self) -> None:
+        self._low_mutex = TrackedLock("fixture.low", 100)
+        self._high_mutex = TrackedLock("fixture.high", 500)
+
+    def climb(self) -> None:
+        with self._low_mutex:
+            with self._high_mutex:
+                pass

@@ -1,0 +1,22 @@
+"""Seeded violation: shared attribute written with no common guard."""
+
+import threading
+
+
+class RacyCounter:
+    """A worker thread and the main path both write ``count`` unlocked."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.count = 0
+        self._worker = None
+
+    def start(self) -> None:
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()
+
+    def _run(self) -> None:
+        self.count += 1  # thread side: no lock
+
+    def reset(self) -> None:
+        self.count = 0  # main side: no lock either

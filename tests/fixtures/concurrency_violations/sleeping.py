@@ -1,0 +1,28 @@
+"""Seeded violations: blocking calls made while holding a lock."""
+
+import queue
+import threading
+import time
+
+
+class SleepyWorker:
+    """Sleeps and waits unboundedly with its mutex held."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._work_queue = queue.Queue()
+        self._done = threading.Event()
+        self.processed = 0
+
+    def nap_under_lock(self) -> None:
+        with self._mutex:
+            time.sleep(0.5)
+
+    def wait_forever(self) -> None:
+        with self._mutex:
+            self._done.wait()
+
+    def drain_one(self) -> None:
+        with self._mutex:
+            item = self._work_queue.get()
+            self.processed += bool(item)

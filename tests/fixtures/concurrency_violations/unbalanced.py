@@ -1,0 +1,23 @@
+"""Seeded violation: manual acquire with a leaking early return."""
+
+import threading
+
+
+class LeakyGuard:
+    """Acquires its mutex manually and forgets to release on one path."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.value = 0
+
+    def bump(self) -> int:
+        self._mutex.acquire()
+        self.value += 1
+        return self.value  # missing release()
+
+    def balanced(self) -> int:
+        self._mutex.acquire()
+        try:
+            return self.value
+        finally:
+            self._mutex.release()

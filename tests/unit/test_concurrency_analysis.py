@@ -1,0 +1,160 @@
+"""Unit tests for the static concurrency analyzer.
+
+Two anchors: every seeded violation in
+``tests/fixtures/concurrency_violations`` must be detected, and the real
+``src/repro`` tree must produce zero error-severity ``concurrency-*``
+findings (the CI gate).
+"""
+
+import os
+
+import pytest
+
+import repro
+from repro.analysis.concurrency import build_index
+from repro.analysis.concurrency.model import find_cycles
+from repro.analysis.framework import Analyzer
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures",
+                        "concurrency_violations")
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    return Analyzer().analyze_source(build_index(FIXTURES))
+
+
+@pytest.fixture(scope="module")
+def fixture_index():
+    return build_index(FIXTURES)
+
+
+@pytest.fixture(scope="module")
+def real_tree_report():
+    root = os.path.dirname(repro.__file__)
+    return Analyzer().analyze_source(build_index(root))
+
+
+def _findings(report, rule):
+    return [f for f in report.findings if f.rule == rule]
+
+
+class TestSeededViolationsDetected:
+    def test_lock_order_cycle(self, fixture_report):
+        findings = _findings(fixture_report, "concurrency-lock-order")
+        cycles = [f for f in findings if "cycle" in f.message]
+        assert any("CycledPair" in f.message for f in cycles)
+        assert all(f.severity == "error" for f in cycles)
+
+    def test_rank_hierarchy_inversion(self, fixture_report):
+        findings = _findings(fixture_report, "concurrency-lock-order")
+        inversions = [f for f in findings if "hierarchy" in f.message]
+        assert any("fixture.high" in f.message
+                   and "fixture.low" in f.message for f in inversions)
+
+    def test_sleep_under_lock(self, fixture_report):
+        findings = _findings(fixture_report,
+                             "concurrency-blocking-under-lock")
+        sleeps = [f for f in findings if f.detail.get("kind") == "sleep"]
+        assert len(sleeps) == 1
+        assert sleeps[0].severity == "error"
+        assert "nap_under_lock" in sleeps[0].message
+
+    def test_unbounded_wait_and_queue_get(self, fixture_report):
+        findings = _findings(fixture_report,
+                             "concurrency-blocking-under-lock")
+        kinds = {f.detail.get("kind") for f in findings
+                 if f.severity == "error"}
+        assert "wait" in kinds
+        assert "queue-get" in kinds
+
+    def test_unbalanced_acquire(self, fixture_report):
+        findings = _findings(fixture_report,
+                             "concurrency-unbalanced-acquire")
+        assert len(findings) == 1
+        assert "LeakyGuard.bump" in findings[0].message
+        # The balanced try/finally sibling must NOT be flagged.
+        assert "balanced" not in findings[0].message
+
+    def test_unguarded_shared_write(self, fixture_report):
+        findings = _findings(fixture_report,
+                             "concurrency-unguarded-shared-write")
+        assert len(findings) == 1
+        assert "RacyCounter.count" in findings[0].message
+
+    def test_untracked_locks_are_info(self, fixture_report):
+        findings = _findings(fixture_report, "concurrency-untracked-lock")
+        assert findings and all(f.severity == "info" for f in findings)
+
+    def test_all_four_seeded_categories_are_errors(self, fixture_report):
+        error_rules = {f.rule for f in fixture_report.errors}
+        assert error_rules >= {
+            "concurrency-lock-order",
+            "concurrency-blocking-under-lock",
+            "concurrency-unbalanced-acquire",
+            "concurrency-unguarded-shared-write",
+        }
+
+
+class TestExtraction:
+    def test_lock_declarations_resolved(self, fixture_index):
+        decl = fixture_index.lock(("RankInverter", "_low_mutex"))
+        assert decl is not None
+        assert decl.tracked
+        assert decl.tracked_name == "fixture.low"
+        assert decl.rank == 100
+
+    def test_raw_lock_declaration(self, fixture_index):
+        decl = fixture_index.lock(("CycledPair", "_table_mutex"))
+        assert decl is not None
+        assert not decl.tracked
+        assert decl.lock_type == "Lock"
+
+    def test_acquisition_edges_and_cycles(self, fixture_index):
+        edges = fixture_index.acquisition_edges()
+        pairs = {(e.holder, e.acquired) for e in edges}
+        assert (("CycledPair", "_table_mutex"),
+                ("CycledPair", "_index_mutex")) in pairs
+        assert (("CycledPair", "_index_mutex"),
+                ("CycledPair", "_table_mutex")) in pairs
+        cycles = find_cycles(edges)
+        assert any({("CycledPair", "_table_mutex"),
+                    ("CycledPair", "_index_mutex")} == set(c)
+                   for c in cycles)
+
+    def test_thread_reachability(self, fixture_index):
+        reachable = fixture_index.thread_reachable()
+        assert "RacyCounter._run" in reachable
+        assert "RacyCounter.reset" not in reachable
+
+    def test_real_tree_rank_constants_are_folded(self):
+        """Tracked-lock ranks in src/repro resolve against the RANK_*
+        constants, so the static check shares the runtime's hierarchy."""
+        root = os.path.dirname(repro.__file__)
+        index = build_index(root)
+        ranks = {d.tracked_name: d.rank for d in index.all_locks()
+                 if d.tracked}
+        assert ranks["storage.views"] == 210
+        assert ranks["insights.service"] == 320
+        assert ranks["lifecycle.bus"] == 520
+        assert all(rank is not None for rank in ranks.values())
+
+
+class TestRealTreeIsClean:
+    def test_no_error_severity_concurrency_findings(self, real_tree_report):
+        errors = [f for f in real_tree_report.errors
+                  if f.rule.startswith("concurrency-")]
+        assert errors == [], "\n".join(f.render() for f in errors)
+
+    def test_journal_io_is_flagged_warn_not_error(self, real_tree_report):
+        """The WAL append/snapshot I/O under the journal mutex is the
+        sanctioned site: visible as warnings, not CI-blocking errors."""
+        io_warns = [f for f in real_tree_report.warnings
+                    if f.rule == "concurrency-blocking-under-lock"
+                    and "journal" in f.path]
+        assert io_warns, "expected the journal's I/O-under-lock warnings"
+
+    def test_no_untracked_locks_outside_sync(self, real_tree_report):
+        infos = [f for f in real_tree_report.findings
+                 if f.rule == "concurrency-untracked-lock"]
+        assert infos == [], "\n".join(f.render() for f in infos)

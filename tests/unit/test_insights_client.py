@@ -234,6 +234,79 @@ class TestCircuitBreaker:
         assert client.breaker.transitions == ["open", "half-open", "open"]
 
 
+class TestHalfOpenTransition:
+    """Breaker-level coverage of the open -> half-open handoff: the
+    cool-down count, probe bounding, and both probe outcomes."""
+
+    def config(self, **kwargs):
+        defaults = dict(max_retries=0, breaker_failure_threshold=3,
+                        breaker_cooldown_fetches=4, breaker_probes_to_close=1)
+        defaults.update(kwargs)
+        return InsightsClientConfig(**defaults)
+
+    def opened(self, **kwargs):
+        breaker = CircuitBreaker(self.config(**kwargs))
+        for _ in range(breaker._config.breaker_failure_threshold):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        return breaker
+
+    def test_cooldown_fetch_count_gates_the_probe(self):
+        breaker = self.opened()
+        # Fetches 1..3 while open degrade; the 4th is admitted as the
+        # half-open probe (cooldown_fetches=4).
+        assert [breaker.admit() for _ in range(3)] == ["degrade"] * 3
+        assert breaker.state == "open"
+        assert breaker.admit() == "attempt"
+        assert breaker.state == "half-open"
+        assert breaker.transitions == ["open", "half-open"]
+
+    def test_half_open_bounds_concurrent_probes(self):
+        breaker = self.opened(breaker_probes_to_close=2)
+        for _ in range(4):
+            breaker.admit()
+        assert breaker.state == "half-open"
+        # One probe slot was taken by the transition itself; with
+        # probes_to_close=2 exactly one more caller is admitted, and
+        # everybody after that degrades until the probes report back.
+        assert breaker.admit() == "attempt"
+        assert breaker.admit() == "degrade"
+        assert breaker.admit() == "degrade"
+
+    def test_close_requires_all_probe_successes(self):
+        breaker = self.opened(breaker_probes_to_close=2)
+        for _ in range(4):
+            breaker.admit()
+        breaker.admit()  # second probe
+        breaker.record_success()
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.transitions == ["open", "half-open", "closed"]
+
+    def test_probe_success_frees_a_probe_slot(self):
+        breaker = self.opened(breaker_probes_to_close=2)
+        for _ in range(4):
+            breaker.admit()
+        breaker.admit()
+        assert breaker.admit() == "degrade"
+        breaker.record_success()  # one probe back: a slot frees up
+        assert breaker.admit() == "attempt"
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        breaker = self.opened()
+        for _ in range(4):
+            breaker.admit()
+        assert breaker.state == "half-open"
+        assert breaker.record_failure() is True
+        assert breaker.state == "open"
+        assert breaker.transitions == ["open", "half-open", "open"]
+        # The cool-down counter restarted: three more degraded fetches
+        # before the next probe is admitted.
+        assert [breaker.admit() for _ in range(3)] == ["degrade"] * 3
+        assert breaker.admit() == "attempt"
+
+
 class TestLockPassthrough:
     def test_lock_operations_hit_the_service_directly(self):
         service = InsightsService()

@@ -109,6 +109,45 @@ class TestGcJanitor:
         janitor.stop()
         assert len(attempts) >= 2
 
+    def test_stop_is_idempotent(self):
+        janitor = GcJanitor(lambda now: SweepResult(), interval_seconds=0.01)
+        assert janitor.stop() is True  # never started
+        janitor.start()
+        assert janitor.stop() is True
+        assert janitor.stop() is True  # after a successful stop
+        assert not janitor.running
+
+    def test_stop_reports_join_timeout_and_can_retry(self):
+        """A wedged sweep must not be silently leaked: stop() returns
+        False, emits gc.stop_timeout, and a later stop() succeeds once
+        the sweep unblocks."""
+        from repro.obs import events as obs_events
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder()
+        in_sweep = threading.Event()
+        release = threading.Event()
+
+        def sweep(now):
+            in_sweep.set()
+            release.wait(timeout=30.0)
+            return SweepResult(at=now)
+
+        janitor = GcJanitor(sweep, interval_seconds=0.001,
+                            recorder=recorder)
+        janitor.start()
+        assert in_sweep.wait(timeout=5.0)
+        try:
+            assert janitor.stop(timeout=0.05) is False
+            assert janitor.running  # thread handle kept for retry
+            events = recorder.events.events(obs_events.GC_STOP_TIMEOUT)
+            assert len(events) == 1
+            assert events[0].attrs["timeout_seconds"] == 0.05
+        finally:
+            release.set()
+        assert janitor.stop(timeout=5.0) is True
+        assert not janitor.running
+
 
 @pytest.fixture
 def managed_engine():
@@ -148,8 +187,12 @@ class TestManagerSweep:
     def test_pinned_view_survives_sweep(self, managed_engine):
         engine, manager = managed_engine
         seal(engine, "s1", now=0.0)
-        engine.view_store.purge("s1")
+        # The reader pinned before the purge landed; a purged view is no
+        # longer pinnable (pin() refuses it), but an already-held pin
+        # keeps the record until the reader finishes.
         assert engine.view_store.pin("s1")
+        engine.view_store.purge("s1")
+        assert not engine.view_store.pin("s1")  # new readers are refused
         result = manager.sweep(now=10.0)
         assert result.removed == 0
         assert result.pinned_skipped == 1

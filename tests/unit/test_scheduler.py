@@ -222,3 +222,56 @@ class TestSessionFacade:
                 assert session.views_created >= 1
                 return digest
         assert build() == build()
+
+
+class TestSessionShutdown:
+    def test_close_stops_janitor_and_flushes_journal(self, tmp_path):
+        """Session.close() must leave nothing behind: the GC janitor
+        thread is joined and the catalog journal is snapshotted with its
+        WAL truncated and closed."""
+        import os
+
+        from repro.api import LifecycleConfig
+        from repro.core.controls import MultiLevelControls
+        from repro.selection.policies import SelectionPolicy
+
+        journal_dir = str(tmp_path / "journal")
+        controls = MultiLevelControls()
+        controls.enable_vc("default")
+        session = Session(
+            controls=controls,
+            policy=SelectionPolicy(min_reuses_per_epoch=0.0),
+            lifecycle=LifecycleConfig(journal_dir=journal_dir,
+                                      start_janitor=True,
+                                      gc_interval_seconds=0.01))
+        install_tables(session.engine)
+        session.run(SQL, now=0.0)
+        session.run(SQL, now=1.0)
+        session.analyze_and_publish()
+        session.run(SQL, now=10.0)
+        assert session.views_created >= 1
+        assert session.lifecycle.janitor.running
+
+        session.close()
+
+        assert not session.lifecycle.janitor.running
+        journal = session.lifecycle.journal
+        assert journal._wal is None  # WAL handle closed
+        # The shutdown snapshot captured every view; the WAL is empty.
+        assert os.path.getsize(journal.wal_path) == 0
+        with open(journal.snapshot_path, encoding="utf-8") as handle:
+            import json
+            payload = json.load(handle)
+        assert len(payload["views"]) >= 1
+
+    def test_close_is_reentrant_with_lifecycle(self, tmp_path):
+        from repro.api import LifecycleConfig
+
+        session = Session(lifecycle=LifecycleConfig(
+            journal_dir=str(tmp_path / "journal"), start_janitor=True,
+            gc_interval_seconds=0.01))
+        install_tables(session.engine)
+        session.run(SQL, now=0.0)
+        session.close()
+        session.close()  # second close must not raise or restart anything
+        assert not session.lifecycle.janitor.running
