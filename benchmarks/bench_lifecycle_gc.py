@@ -13,9 +13,9 @@ and eviction counts as JSON for trend tracking.
 import json
 import time
 
-from repro.engine import ScopeEngine
+from repro.api import Session
 from repro.engine.engine import EngineConfig
-from repro.lifecycle import LifecycleConfig, LifecycleManager
+from repro.lifecycle import LifecycleConfig
 
 VIEWS = 2_000
 TTL_SECONDS = 1_000.0
@@ -44,8 +44,10 @@ def timed_sweep(manager, now):
 
 
 def run_gc():
-    engine = ScopeEngine(config=EngineConfig(view_ttl_seconds=TTL_SECONDS))
-    manager = LifecycleManager(engine, LifecycleConfig())
+    session = Session(
+        engine_config=EngineConfig(view_ttl_seconds=TTL_SECONDS),
+        lifecycle=LifecycleConfig())
+    engine, manager = session.engine, session.lifecycle
     populate(engine, VIEWS)
 
     # Pass 1: everything still live -- the steady-state wake-up cost.
@@ -59,7 +61,7 @@ def run_gc():
         engine.view_store.storage_in_use(1_100.0) // 2
     budget_seconds, budget = timed_sweep(manager, now=1_100.0)
 
-    manager.close()
+    session.close()
     return {
         "catalog_views": VIEWS,
         "noop_sweep_seconds": noop_seconds,

@@ -7,8 +7,8 @@ concurrently-submitted jobs -- which ordinary CloudViews cannot help
 and measures the work the pipelining recovers.
 """
 
+from repro.api import Session
 from repro.catalog import schema_of
-from repro.engine import ScopeEngine
 from repro.extensions import SharedBatchExecutor
 
 #: A burst pipeline: one team's concurrent dashboard refresh.
@@ -22,19 +22,20 @@ BURST = [
 ]
 
 
-def make_engine():
-    engine = ScopeEngine()
-    engine.register_table(
+def make_session():
+    session = Session()
+    session.register_table(
         schema_of("T", [("k", "int"), ("v", "float")]),
         [dict(k=i % 8, v=float(i % 173)) for i in range(2000)])
-    engine.register_table(
+    session.register_table(
         schema_of("D", [("k", "int"), ("n", "str")]),
         [dict(k=i, n=f"team-{i}") for i in range(8)])
-    return engine
+    return session
 
 
 def run_flow():
-    engine = make_engine()
+    session = make_session()
+    engine = session.engine
     compiled = [engine.compile(sql, reuse_enabled=False) for sql in BURST]
 
     # Isolated execution (what the cluster does today for bursts).
@@ -49,6 +50,7 @@ def run_flow():
     # Shared batch execution.
     batch = SharedBatchExecutor(engine)
     results, stats = batch.execute_batch(compiled)
+    session.close()
     return isolated_work, isolated_results, results, stats
 
 

@@ -6,30 +6,33 @@ workload, the user schedules analysis, reuse kicks in -- over a miniature
 TPC-DS suite and compare total observed work.
 """
 
-from repro.engine import ScopeEngine
+from repro.api import Session
 from repro.extensions import QueryEventListener, run_workload_analysis
 from repro.selection import SelectionPolicy
 from repro.workload.tpcds import TPCDS_QUERIES, install_tpcds, run_tpcds_suite
 
 
 def run_flow():
-    # Baseline engine: reuse never enabled.
-    baseline_engine = ScopeEngine()
-    install_tpcds(baseline_engine)
-    baseline = run_tpcds_suite(baseline_engine, reuse_enabled=False)
+    # Baseline session: reuse never enabled.
+    with Session() as baseline_session:
+        install_tpcds(baseline_session.engine)
+        baseline = run_tpcds_suite(baseline_session.engine,
+                                   reuse_enabled=False)
 
     # SparkCruise flow: observe, analyze, then run with reuse.
-    engine = ScopeEngine()
-    install_tpcds(engine)
-    listener = QueryEventListener(engine)
-    observe = run_tpcds_suite(engine, reuse_enabled=False, now=0.0)
-    for name, sql in TPCDS_QUERIES:
-        # Feed the listener from a fresh pass so signatures are recorded.
-        run = engine.run_sql(sql, reuse_enabled=False, now=50.0)
-        listener.on_query_end(run, now=50.0)
-    run_workload_analysis(listener, SelectionPolicy(
-        storage_budget_bytes=10_000_000, min_reuses_per_epoch=0.0))
-    enabled = run_tpcds_suite(engine, reuse_enabled=True, now=100.0)
+    with Session() as session:
+        engine = session.engine
+        install_tpcds(engine)
+        listener = QueryEventListener(engine)
+        observe = run_tpcds_suite(engine, reuse_enabled=False, now=0.0)
+        for name, sql in TPCDS_QUERIES:
+            # Feed the listener from a fresh pass so signatures are
+            # recorded.
+            run = engine.run_sql(sql, reuse_enabled=False, now=50.0)
+            listener.on_query_end(run, now=50.0)
+        run_workload_analysis(listener, SelectionPolicy(
+            storage_budget_bytes=10_000_000, min_reuses_per_epoch=0.0))
+        enabled = run_tpcds_suite(engine, reuse_enabled=True, now=100.0)
     return baseline, observe, enabled
 
 

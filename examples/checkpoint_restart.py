@@ -10,8 +10,7 @@ them up and skips the recomputation.
 Run:  python examples/checkpoint_restart.py
 """
 
-from repro import schema_of
-from repro.engine import ScopeEngine
+from repro import Session, schema_of
 from repro.extensions import CheckpointManager, FailureModel
 
 LONG_RUNNING_REPORT = (
@@ -21,14 +20,15 @@ LONG_RUNNING_REPORT = (
 
 
 def main() -> None:
-    engine = ScopeEngine()
-    engine.register_table(
+    session = Session()
+    engine = session.engine
+    session.register_table(
         schema_of("Orders", [("StoreId", "int"), ("Revenue", "float"),
                              ("Status", "str")]),
         [dict(StoreId=i % 40, Revenue=float(i % 500),
               Status="complete" if i % 7 else "pending")
          for i in range(1500)])
-    engine.register_table(
+    session.register_table(
         schema_of("Stores", [("StoreId", "int"), ("Region", "str")]),
         [dict(StoreId=i, Region=["east", "west", "north"][i % 3])
          for i in range(40)])
@@ -58,12 +58,13 @@ def main() -> None:
           f"recovered plan:")
     print(recovered.compiled.plan.explain())
 
-    clean = engine.run_sql(LONG_RUNNING_REPORT, reuse_enabled=False,
-                           now=10.0)
+    clean = session.run(LONG_RUNNING_REPORT, reuse_override=False,
+                        now=10.0)
     assert sorted(map(repr, recovered.rows)) == sorted(map(repr, clean.rows))
     print("\nrecovered results verified against a clean recomputation:")
     for row in sorted(recovered.rows, key=lambda r: r["Region"]):
         print(f"  {row}")
+    session.close()
 
 
 if __name__ == "__main__":

@@ -9,8 +9,7 @@ insights, and only then turns reuse on.
 Run:  python examples/workload_insights.py
 """
 
-from repro import SelectionPolicy, schema_of
-from repro.engine import ScopeEngine
+from repro import SelectionPolicy, Session, schema_of
 from repro.extensions import (
     QueryEventListener,
     format_insights,
@@ -35,14 +34,15 @@ DASHBOARD_QUERIES = [
 
 
 def main() -> None:
-    engine = ScopeEngine()
-    engine.register_table(
+    session = Session()
+    engine = session.engine
+    session.register_table(
         schema_of("Logs", [("ServiceId", "int"), ("Level", "str"),
                            ("LatencyMs", "float")]),
         [dict(ServiceId=i % 12,
               Level="ERROR" if i % 5 == 0 else "INFO",
               LatencyMs=float(i % 900)) for i in range(900)])
-    engine.register_table(
+    session.register_table(
         schema_of("Services", [("ServiceId", "int"), ("Service", "str"),
                                ("Tier", "str")]),
         [dict(ServiceId=i, Service=f"svc-{i}",
@@ -71,11 +71,12 @@ def main() -> None:
         listener, SelectionPolicy(min_reuses_per_epoch=0.0))
     print(f"published {len(selection.selected)} view selections")
     for name, sql in DASHBOARD_QUERIES:
-        run = engine.run_sql(sql, now=300.0)
-        print(f"{name:<16} built={run.compiled.built_views} "
-              f"reused={run.compiled.reused_views}")
-    print(f"\nengine totals: {engine.view_store.total_created} views "
-          f"created, {engine.view_store.total_reused} reuses")
+        result = session.run(sql, template_id=name, now=300.0)
+        print(f"{name:<16} built={result.views_built} "
+              f"reused={result.views_reused}")
+    print(f"\nsession totals: {session.views_created} views "
+          f"created, {session.views_reused} reuses")
+    session.close()
 
 
 if __name__ == "__main__":

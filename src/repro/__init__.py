@@ -43,7 +43,7 @@ from repro.engine import EngineConfig
 from repro.selection import SelectionPolicy, SelectionResult
 from repro.workload import CookingWorkload, WorkloadRepository, generate_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Old top-level entry points, still importable but deprecated: the
 #: attribute access warns and forwards to the canonical module.
@@ -66,7 +66,8 @@ def __getattr__(name: str):
         module_name, attr, replacement = _DEPRECATED[name]
         warnings.warn(
             f"importing {name!r} from the top-level 'repro' package is "
-            f"deprecated; use {replacement}",
+            f"deprecated and will be removed in repro 2.0; "
+            f"use {replacement}",
             DeprecationWarning, stacklevel=2)
         import importlib
         return getattr(importlib.import_module(module_name), attr)

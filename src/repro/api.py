@@ -26,8 +26,10 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.backends.base import ExecutionBackend, create_backend
 from repro.catalog.schema import TableSchema
 from repro.common.errors import ReproError
+from repro.config import SessionConfig
 from repro.core.controls import MultiLevelControls
 from repro.core.runner import record_job_into
 from repro.engine.engine import EngineConfig, ScopeEngine
@@ -51,7 +53,7 @@ from repro.selection.registry import run_selection, validate_selection_algorithm
 from repro.workload.repository import WorkloadRepository
 
 __all__ = [
-    "Session",
+    "Session", "SessionConfig",
     "JobResult", "JobRequest",
     "EngineConfig", "SchedulerConfig", "InsightsClientConfig",
     "LifecycleConfig",
@@ -62,28 +64,52 @@ __all__ = [
 class Session:
     """Engine + insights + scheduler wiring with one result type.
 
-    All constructor arguments are keyword-only.  By default the engine
-    talks to its insights service through an :class:`InsightsClient`
-    (request batching, TTL cache, retries, circuit breaker); pass
-    ``client_config``/``fault_injector`` to tune or perturb that path.
+    All constructor arguments are keyword-only.  ``config`` takes a
+    :class:`SessionConfig` covering every knob in one typed object;
+    the individual kwargs remain and override the matching config
+    field.  ``backend`` selects the execution engine -- a name
+    (``"memory"``, ``"sqlite"``) or an
+    :class:`~repro.backends.base.ExecutionBackend` instance -- while
+    signatures, matching, and insights stay backend-invariant above it.
+    By default the engine talks to its insights service through an
+    :class:`InsightsClient` (request batching, TTL cache, retries,
+    circuit breaker); pass ``client_config``/``fault_injector`` to tune
+    or perturb that path.
     """
 
     def __init__(self, *,
+                 config: Optional[SessionConfig] = None,
+                 backend: Optional[Union[str, ExecutionBackend]] = None,
                  engine_config: Optional[EngineConfig] = None,
                  scheduler_config: Optional[SchedulerConfig] = None,
                  client_config: Optional[InsightsClientConfig] = None,
                  fault_injector: Optional[FaultInjector] = None,
                  controls: Optional[MultiLevelControls] = None,
                  policy: Optional[SelectionPolicy] = None,
-                 selection_algorithm: str = "greedy",
+                 selection_algorithm: Optional[str] = None,
                  lifecycle: Optional[LifecycleConfig] = None,
                  recorder=None):
+        # Explicit kwargs override the corresponding SessionConfig field.
+        self.config = config or SessionConfig()
+        engine_config = engine_config or self.config.engine
+        scheduler_config = scheduler_config or self.config.scheduler
+        client_config = client_config or self.config.client
+        policy = policy or self.config.selection_policy
+        lifecycle = lifecycle if lifecycle is not None \
+            else self.config.lifecycle
+        selection_algorithm = (selection_algorithm
+                               or self.config.selection_algorithm)
+        if backend is None:
+            backend = self.config.create_backend()
+        elif isinstance(backend, str):
+            backend = create_backend(
+                backend, sqlite_path=self.config.sqlite_path)
         validate_selection_algorithm(selection_algorithm)
         self.service = InsightsService()
         self.insights = InsightsClient(
             self.service, config=client_config, injector=fault_injector)
         self.engine = ScopeEngine(
-            insights=self.insights, config=engine_config)
+            insights=self.insights, config=engine_config, backend=backend)
         self.controls = controls or MultiLevelControls()
         self.policy = policy or SelectionPolicy()
         self.selection_algorithm = selection_algorithm
@@ -92,6 +118,7 @@ class Session:
             scheduler_config or SchedulerConfig(),
             reuse_gate=self._reuse_gate,
         )
+        self.backend = backend
         self.repository = WorkloadRepository()
         self.last_selection: Optional[SelectionResult] = None
         self._full_work: Dict[str, float] = {}
@@ -220,6 +247,7 @@ class Session:
         if self.lifecycle is not None:
             self.lifecycle.close()
         self.scheduler.close()
+        self.backend.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -231,3 +259,4 @@ class Session:
             if self.lifecycle is not None:
                 self.lifecycle.close()
             self.scheduler.__exit__(exc_type, exc, tb)
+            self.backend.close()

@@ -1,0 +1,31 @@
+"""Execution backends: pluggable storage + execution under the engine.
+
+Public surface::
+
+    from repro.backends import (
+        BackendCapabilities, ExecutionBackend, InMemoryBackend,
+        SqliteBackend, backend_names, create_backend, register_backend,
+    )
+
+See :mod:`repro.backends.base` for the interface contract.
+"""
+
+from repro.backends.base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from repro.backends.memory import InMemoryBackend
+from repro.backends.sqlite.backend import SqliteBackend
+
+__all__ = [
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "InMemoryBackend",
+    "SqliteBackend",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+]

@@ -1,0 +1,199 @@
+"""The execution-backend interface.
+
+The CloudViews loop -- signatures, insights, view selection, view
+matching, spool insertion -- operates entirely on *logical plans* and is
+engine-agnostic (the paper runs it inside SCOPE; SparkCruise runs the
+same loop inside Spark).  Everything below the optimized plan is a
+backend concern: how datasets are stored, how plans execute, and how
+materialized views persist.  :class:`ExecutionBackend` is that seam.
+
+The engine talks to the backend through eight methods:
+
+* dataset management: :meth:`load_table`, :meth:`scan_table`,
+  :meth:`drop_table` (keyed by stream GUID -- streams are immutable per
+  GUID, so a bulk update loads a *new* GUID);
+* execution: :meth:`execute` runs one optimized plan (including any
+  matched :class:`~repro.plan.logical.ViewScan` and inserted
+  :class:`~repro.plan.logical.Spool` operators) and returns the same
+  :class:`~repro.executor.executor.ExecutionResult` shape regardless of
+  backend -- result rows plus per-operator observed statistics;
+* view storage: :meth:`materialize_view`, :meth:`scan_view`,
+  :meth:`drop_view` (keyed by view path).  The lifecycle manager calls
+  :meth:`drop_view` when GC or a purge cascade collects a view, so an
+  external backend never leaks tables for views the catalog has dropped.
+
+Reuse decisions stay *above* this interface: the view store, signature
+catalog, and insights service never see backend objects, which is what
+makes reuse decisions (and the catalog digest) backend-invariant.
+
+Backends self-describe through :class:`BackendCapabilities` so callers
+can gate features (UDOs, shared batch execution) instead of failing
+deep inside execution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.common.errors import ConfigError
+from repro.executor.executor import ExecutionResult
+from repro.plan.expressions import Row
+from repro.plan.logical import LogicalPlan
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend can and cannot do.
+
+    ``supports_udos``
+        ``Process`` (user-defined operator) nodes execute.  External SQL
+        backends generally cannot host arbitrary Python row operators.
+    ``supports_row_capture``
+        Per-node output rows can be captured (the shared batch-execution
+        extension needs this).
+    ``deterministic_limit``
+        ``Limit`` without a covering ``Sort`` returns the same prefix the
+        in-memory interpreter would.  SQL backends make no row-order
+        promise, so an unordered LIMIT may pick a different (equally
+        valid) subset.
+    ``external``
+        Data lives outside the Python process (real tables rather than
+        in-memory row lists); dropping views actually reclaims storage in
+        another system.
+    """
+
+    supports_udos: bool = True
+    supports_row_capture: bool = True
+    deterministic_limit: bool = True
+    external: bool = False
+
+
+class ExecutionBackend(ABC):
+    """Storage plus execution for one engine; see the module docstring."""
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+    capabilities: BackendCapabilities = BackendCapabilities()
+
+    # ------------------------------------------------------------------ #
+    # datasets (streams)
+
+    @abstractmethod
+    def load_table(self, schema, guid: str, rows: Sequence[Row]) -> None:
+        """Load one immutable stream version under ``guid``.
+
+        ``schema`` is the :class:`~repro.catalog.schema.TableSchema` of
+        the dataset; external backends use its column types.
+        """
+
+    @abstractmethod
+    def scan_table(self, guid: str) -> List[Row]:
+        """Read back every row of one stream version."""
+
+    @abstractmethod
+    def drop_table(self, guid: str) -> None:
+        """Drop one stream version (stale GUIDs beyond the keep window)."""
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    @abstractmethod
+    def execute(self, plan: LogicalPlan) -> ExecutionResult:
+        """Run one optimized plan.
+
+        Spool operators must materialize their child under the spool's
+        view path *and* flow the rows onward (the paper's two-consumer
+        spool); ViewScan operators read previously materialized views.
+        The returned :class:`ExecutionResult` carries per-node statistics
+        keyed by the plan's node objects, in post-order.
+        """
+
+    # ------------------------------------------------------------------ #
+    # materialized views
+
+    @abstractmethod
+    def materialize_view(self, plan: LogicalPlan, view_id: str):
+        """Evaluate ``plan`` and persist the result under ``view_id``.
+
+        Returns ``(row_count, size_bytes)`` using the same byte
+        accounting as :func:`repro.storage.store._estimate_bytes`.
+        """
+
+    @abstractmethod
+    def scan_view(self, view_id: str) -> List[Row]:
+        """Read back one materialized view's rows."""
+
+    @abstractmethod
+    def drop_view(self, view_id: str) -> None:
+        """Drop one materialized view's storage; a no-op when absent.
+
+        Lifecycle purge/GC calls this for every collected view -- on an
+        external backend this must drop the real table, or purge
+        cascades would leak storage the catalog no longer tracks.
+        """
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def close(self) -> None:
+        """Release backend resources (connections, files)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# registry
+
+_FACTORIES: Dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (last writer wins)."""
+    _FACTORIES[name] = factory
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, sorted (CLI ``--backend`` choices)."""
+    return sorted(_FACTORIES)
+
+
+def create_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate a registered backend by name.
+
+    Options irrelevant to the chosen backend (e.g. ``sqlite_path`` for
+    the in-memory backend) are silently dropped, so one config object
+    can describe any backend.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown execution backend {name!r}; "
+            f"available: {', '.join(backend_names())}") from None
+    return factory(**options)
+
+
+def _register_builtins() -> None:
+    # Imported lazily so ``repro.backends.base`` has no import cycle
+    # with the backend implementations.
+    from repro.backends.memory import InMemoryBackend
+    from repro.backends.sqlite.backend import SqliteBackend
+
+    def _memory(udos=None, **_ignored) -> ExecutionBackend:
+        return InMemoryBackend(udos=udos)
+
+    def _sqlite(udos=None, sqlite_path=None, **_ignored) -> ExecutionBackend:
+        return SqliteBackend(path=sqlite_path)
+
+    register_backend(InMemoryBackend.name, _memory)
+    register_backend(SqliteBackend.name, _sqlite)
+
+
+_register_builtins()

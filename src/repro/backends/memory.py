@@ -1,0 +1,70 @@
+"""The in-memory execution backend.
+
+Wraps the row-at-a-time interpreter (:class:`~repro.executor.executor.
+Executor`) and the simulated blob store (:class:`~repro.storage.store.
+DataStore`) behind the :class:`~repro.backends.base.ExecutionBackend`
+interface.  This is the original simulator engine, unchanged in
+behaviour -- streams and views are Python row lists keyed by GUID/path,
+and Spool materialization happens inside the interpreter itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.backends.base import BackendCapabilities, ExecutionBackend
+from repro.executor.executor import ExecutionResult, Executor
+from repro.executor.udo import UdoRegistry
+from repro.plan.expressions import Row
+from repro.plan.logical import LogicalPlan
+from repro.storage.store import DataStore, _estimate_bytes
+
+
+class InMemoryBackend(ExecutionBackend):
+    """Simulated engine: Python rows in a :class:`DataStore`."""
+
+    name = "memory"
+    capabilities = BackendCapabilities(
+        supports_udos=True,
+        supports_row_capture=True,
+        deterministic_limit=True,
+        external=False,
+    )
+
+    def __init__(self, store: Optional[DataStore] = None,
+                 udos: Optional[UdoRegistry] = None):
+        self.store = store or DataStore()
+        self.executor = Executor(self.store, udos)
+
+    # ------------------------------------------------------------------ #
+    # datasets
+
+    def load_table(self, schema, guid: str, rows: Sequence[Row]) -> None:
+        self.store.put(guid, list(rows))
+
+    def scan_table(self, guid: str) -> List[Row]:
+        return self.store.get(guid)
+
+    def drop_table(self, guid: str) -> None:
+        self.store.delete(guid)
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def execute(self, plan: LogicalPlan) -> ExecutionResult:
+        return self.executor.execute(plan)
+
+    # ------------------------------------------------------------------ #
+    # materialized views
+
+    def materialize_view(self, plan: LogicalPlan, view_id: str):
+        rows = self.executor.execute(plan).rows
+        size = _estimate_bytes(rows)
+        self.store.put(view_id, rows, row_bytes=size)
+        return len(rows), size
+
+    def scan_view(self, view_id: str) -> List[Row]:
+        return self.store.get(view_id)
+
+    def drop_view(self, view_id: str) -> None:
+        self.store.delete(view_id)

@@ -1,0 +1,14 @@
+"""SQLite execution backend: plan -> SQL lowering plus the backend.
+
+:mod:`repro.backends.sqlite.compile` lowers optimized logical plans
+(including matched ``ViewScan`` and inserted ``Spool`` operators) to
+SQLite SQL; :mod:`repro.backends.sqlite.backend` owns the connection,
+loads datasets as real tables, materializes views with ``CREATE TABLE
+AS``, and reports the same per-operator statistics the in-memory
+interpreter would.
+"""
+
+from repro.backends.sqlite.backend import SqliteBackend
+from repro.backends.sqlite.compile import CompiledQuery, PlanCompiler, TableInfo
+
+__all__ = ["CompiledQuery", "PlanCompiler", "SqliteBackend", "TableInfo"]

@@ -1,0 +1,288 @@
+"""Execution backend over a real SQLite database.
+
+Datasets load as real tables, optimized plans compile to SQL (see
+:mod:`repro.backends.sqlite.compile`), Spool operators materialize
+views with ``CREATE TABLE AS`` before the consuming query runs, and
+ViewScans read those tables back.  Per-operator statistics -- the
+observed numbers the CloudViews feedback loop trains on -- come from
+``COUNT(*)/SUM(width)`` probe queries per plan node, using the same
+byte-width rule as the in-memory store, so reuse decisions and the
+catalog digest are identical across backends.
+
+Tables are created with *typeless* columns: SQLite then stores every
+value exactly as bound (no affinity coercion), which is a precondition
+for the differential harness's byte-equal guarantee.  One connection is
+shared by all scheduler workers, serialized by a ranked lock at the
+storage tier.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.base import BackendCapabilities, ExecutionBackend
+from repro.backends.sqlite.compile import (
+    CompiledQuery,
+    PlanCompiler,
+    TableInfo,
+    classes_from_schema,
+    physical_name,
+    quote_ident,
+)
+from repro.common.errors import ExecutionError, StorageError
+from repro.common.sync import RANK_STORAGE, TrackedLock
+from repro.executor.executor import (
+    ExecutionResult,
+    OperatorStats,
+    SpoolOutput,
+)
+from repro.plan.expressions import SCALAR_FUNCTIONS, Row, _like_match
+from repro.plan.logical import (
+    Join,
+    LogicalPlan,
+    Process,
+    Scan,
+    Spool,
+    Union,
+    ViewScan,
+    contains_operator,
+)
+
+
+def _py_mod(left, right):
+    """``%`` with Python's sign convention; None/zero -> None."""
+    if left is None or right is None or right == 0:
+        return None
+    return left % right
+
+
+def _py_like(value, pattern, negated):
+    if value is None:
+        return 0
+    matched = _like_match(str(value), pattern)
+    return int((not matched) if negated else matched)
+
+
+class SqliteBackend(ExecutionBackend):
+    """Plans compile to SQL; views are real tables."""
+
+    name = "sqlite"
+    capabilities = BackendCapabilities(
+        supports_udos=False,
+        supports_row_capture=False,
+        deterministic_limit=False,
+        external=True,
+    )
+
+    def __init__(self, path: Optional[str] = None):
+        self._conn = sqlite3.connect(path or ":memory:",
+                                     check_same_thread=False)
+        self._mutex = TrackedLock("storage.sqlite", RANK_STORAGE)
+        self._tables: Dict[str, TableInfo] = {}
+        self._views: Dict[str, TableInfo] = {}
+        self._compiler = PlanCompiler(self._tables, self._views)
+        self._register_functions()
+
+    def _register_functions(self) -> None:
+        # Scalar functions run the interpreter's own callables so the
+        # two backends cannot drift (ROUND's banker's rounding, unicode
+        # case mapping, ...).  COALESCE/IFNULL lower natively instead.
+        for fname, fn in SCALAR_FUNCTIONS.items():
+            if fname in ("COALESCE", "IFNULL"):
+                continue
+            self._conn.create_function(
+                f"py_{fname.lower()}", -1, fn, deterministic=True)
+        self._conn.create_function("py_mod", 2, _py_mod, deterministic=True)
+        self._conn.create_function("py_like", 3, _py_like, deterministic=True)
+
+    # ------------------------------------------------------------------ #
+    # datasets
+
+    def load_table(self, schema, guid: str, rows: Sequence[Row]) -> None:
+        info = TableInfo(
+            table=physical_name("t", guid),
+            columns=tuple(schema.column_names),
+            classes=classes_from_schema(schema),
+        )
+        with self._mutex:
+            self._create_and_fill(info, [
+                tuple(row.get(c) for c in info.columns) for row in rows])
+            self._tables[guid] = info
+
+    def scan_table(self, guid: str) -> List[Row]:
+        with self._mutex:
+            info = self._tables.get(guid)
+            if info is None:
+                raise StorageError(f"no data stored under key {guid!r}")
+            return self._fetch_table(info)
+
+    def drop_table(self, guid: str) -> None:
+        with self._mutex:
+            info = self._tables.pop(guid, None)
+            if info is not None:
+                self._conn.execute(
+                    f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def execute(self, plan: LogicalPlan) -> ExecutionResult:
+        if contains_operator(plan, Process):
+            raise ExecutionError(
+                "the SQLite backend cannot execute Process (UDO) "
+                "operators; run this job on the in-memory backend")
+        with self._mutex:
+            result = ExecutionResult(rows=[], node_stats=[])
+            # Materialize every Spool bottom-up first: the consuming
+            # query then reads the spool table (compute-once, two
+            # consumers), and nested spools resolve inner-first.
+            for node in _post_order(plan):
+                if isinstance(node, Spool):
+                    self._materialize_spool(node, result)
+            compiled = self._compiler.compile(plan)
+            result.rows = self._fetch(compiled)
+            for node in _post_order(plan):
+                if isinstance(node, ViewScan):
+                    result.views_read.append(node.signature)
+            stats_cache: Dict[str, Tuple[int, int]] = {}
+            self._stats_walk(plan, result, stats_cache)
+            return result
+
+    def _materialize_spool(self, node: Spool, result: ExecutionResult) -> None:
+        child = self._compiler.compile(node.child)
+        info = TableInfo(
+            table=physical_name("v", node.view_path),
+            columns=child.columns,
+            classes=dict(child.classes),
+        )
+        self._conn.execute(
+            f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+        self._conn.execute(
+            f"CREATE TABLE {quote_ident(info.table)} AS {child.sql}")
+        self._views[node.view_path] = info
+        rows, size = self._measure(
+            CompiledQuery(f"SELECT * FROM {quote_ident(info.table)}",
+                          info.columns, info.classes), {})
+        result.spooled.append(SpoolOutput(
+            signature=node.signature,
+            view_path=node.view_path,
+            row_count=rows,
+            size_bytes=size,
+            schema=node.schema,
+        ))
+
+    def _stats_walk(self, node: LogicalPlan, result: ExecutionResult,
+                    cache: Dict[str, Tuple[int, int]]) -> int:
+        """Emit per-node OperatorStats post-order; returns rows_out."""
+        child_rows = [self._stats_walk(c, result, cache)
+                      for c in node.children()]
+        compiled = self._compiler.compile(node)
+        rows_out, bytes_out = self._measure(compiled, cache)
+        if isinstance(node, (Scan, ViewScan)):
+            rows_in = 0
+        elif isinstance(node, (Join, Union)):
+            rows_in = sum(child_rows)
+        else:
+            rows_in = child_rows[0] if child_rows else 0
+        result.node_stats.append((node, OperatorStats(
+            operator=node.op_label,
+            rows_in=rows_in,
+            rows_out=rows_out,
+            bytes_out=bytes_out,
+            description=node.describe(),
+        )))
+        return rows_out
+
+    def _measure(self, compiled: CompiledQuery,
+                 cache: Dict[str, Tuple[int, int]]) -> Tuple[int, int]:
+        found = cache.get(compiled.sql)
+        if found is None:
+            cur = self._conn.execute(compiled.stats_sql())
+            count, size = cur.fetchone()
+            found = (int(count), int(size))
+            cache[compiled.sql] = found
+        return found
+
+    # ------------------------------------------------------------------ #
+    # materialized views
+
+    def materialize_view(self, plan: LogicalPlan, view_id: str):
+        if contains_operator(plan, Process):
+            raise ExecutionError(
+                "the SQLite backend cannot execute Process (UDO) "
+                "operators; run this job on the in-memory backend")
+        with self._mutex:
+            compiled = self._compiler.compile(plan)
+            info = TableInfo(
+                table=physical_name("v", view_id),
+                columns=compiled.columns,
+                classes=dict(compiled.classes),
+            )
+            self._conn.execute(
+                f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+            self._conn.execute(
+                f"CREATE TABLE {quote_ident(info.table)} AS {compiled.sql}")
+            self._views[view_id] = info
+            return self._measure(
+                CompiledQuery(f"SELECT * FROM {quote_ident(info.table)}",
+                              info.columns, info.classes), {})
+
+    def scan_view(self, view_id: str) -> List[Row]:
+        with self._mutex:
+            info = self._views.get(view_id)
+            if info is None:
+                raise StorageError(f"no data stored under key {view_id!r}")
+            return self._fetch_table(info)
+
+    def drop_view(self, view_id: str) -> None:
+        with self._mutex:
+            info = self._views.pop(view_id, None)
+            if info is not None:
+                self._conn.execute(
+                    f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+
+    def has_view(self, view_id: str) -> bool:
+        """True while a view's backing table exists (used by tests)."""
+        with self._mutex:
+            return view_id in self._views
+
+    # ------------------------------------------------------------------ #
+    # helpers
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def _create_and_fill(self, info: TableInfo, tuples) -> None:
+        table = quote_ident(info.table)
+        self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+        # Typeless columns: no affinity, values stored exactly as bound.
+        columns = ", ".join(quote_ident(c) for c in info.columns)
+        self._conn.execute(f"CREATE TABLE {table} ({columns})")
+        if tuples:
+            marks = ", ".join("?" for _ in info.columns)
+            self._conn.executemany(
+                f"INSERT INTO {table} VALUES ({marks})", tuples)
+
+    def _fetch_table(self, info: TableInfo) -> List[Row]:
+        select = ", ".join(quote_ident(c) for c in info.columns)
+        return self._fetch(CompiledQuery(
+            f"SELECT {select} FROM {quote_ident(info.table)}",
+            info.columns, info.classes))
+
+    def _fetch(self, compiled: CompiledQuery) -> List[Row]:
+        bool_cols = set(compiled.bool_columns())
+        out: List[Row] = []
+        for values in self._conn.execute(compiled.sql):
+            row = dict(zip(compiled.columns, values))
+            for c in bool_cols:
+                if row[c] is not None:
+                    row[c] = bool(row[c])
+            out.append(row)
+        return out
+
+
+def _post_order(plan: LogicalPlan):
+    for child in plan.children():
+        yield from _post_order(child)
+    yield plan

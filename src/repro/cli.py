@@ -3,7 +3,11 @@
 Commands:
 
 * ``simulate``  -- run the paired deployment simulation and print the
-  Table-1 impact summary;
+  Table-1 impact summary (``--backend sqlite`` executes every job on a
+  real SQLite database instead of the in-memory interpreter);
+* ``diff-backends`` -- run the bundled workloads on every execution
+  backend with reuse on and off and assert byte-equal results and
+  identical reuse decisions;
 * ``tpcds``     -- replay the SparkCruise-on-TPC-DS flow (Section 5.5);
 * ``capture``   -- profile a generated workload (compile-only) and save
   the workload repository to a JSONL capture;
@@ -26,6 +30,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.backends import backend_names
 from repro.core.runner import SimulationConfig, WorkloadSimulation
 from repro.engine.engine import ScopeEngine
 from repro.scheduler import ConcurrentSimulation, ConcurrentSimulationConfig
@@ -74,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="view time-to-live in simulated seconds "
                                "(default: one week, the paper's eviction "
                                "policy)")
+    simulate.add_argument("--backend", default="memory",
+                          choices=sorted(backend_names()),
+                          help="execution backend: 'memory' interprets "
+                               "plans in-process, 'sqlite' compiles them "
+                               "to SQL against a real database")
+
+    diff = sub.add_parser(
+        "diff-backends",
+        help="differential check: run the bundled workloads on every "
+             "backend x reuse setting and assert byte-equal results "
+             "and identical reuse decisions")
+    diff.add_argument("--workload", default="all",
+                      choices=["all", "tpcds", "cooking"])
+    diff.add_argument("--days", type=int, default=3,
+                      help="cooking-workload days")
+    diff.add_argument("--scale-rows", type=int, default=400,
+                      help="TPC-DS synthetic row count")
 
     tpcds = sub.add_parser(
         "tpcds", help="SparkCruise on mini TPC-DS (Section 5.5)")
@@ -181,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "simulate": _cmd_simulate,
+        "diff-backends": _cmd_diff_backends,
         "tpcds": _cmd_tpcds,
         "capture": _cmd_capture,
         "analyze": _cmd_analyze,
@@ -218,7 +241,8 @@ def _cmd_simulate(args) -> int:
         print(f"simulating {args.days} days ({label}) ...")
         config = SimulationConfig(days=args.days, cloudviews_enabled=enabled,
                                   selection_algorithm=args.selection,
-                                  view_ttl_seconds=args.view_ttl)
+                                  view_ttl_seconds=args.view_ttl,
+                                  backend=args.backend)
         # The flight recorder rides on the CloudViews-enabled run; the
         # baseline stays uninstrumented, as in the paper's A/B harness.
         simulation = WorkloadSimulation(
@@ -268,7 +292,8 @@ def _cmd_simulate_concurrent(args) -> int:
     config = ConcurrentSimulationConfig(
         days=args.days, workers=args.workers,
         selection_algorithm=args.selection,
-        view_ttl_seconds=args.view_ttl)
+        view_ttl_seconds=args.view_ttl,
+        backend=args.backend)
     print(f"simulating {args.days} days "
           f"(cloudviews, {args.workers} workers) ...")
     simulation = ConcurrentSimulation(_workload(args), config,
@@ -299,6 +324,27 @@ def _cmd_simulate_concurrent(args) -> int:
         print(f"flight-recorder capture -> {args.obs_dir} "
               f"({', '.join(sorted(paths))})")
     return 0
+
+
+def _cmd_diff_backends(args) -> int:
+    """Cross-backend differential check; non-zero exit on any mismatch."""
+    from repro.backends.differential import (
+        run_cooking_differential,
+        run_tpcds_differential,
+    )
+
+    reports = []
+    if args.workload in ("all", "tpcds"):
+        reports.append(run_tpcds_differential(scale_rows=args.scale_rows))
+    if args.workload in ("all", "cooking"):
+        reports.append(run_cooking_differential(days=args.days))
+    failed = False
+    for report in reports:
+        print(report.summary())
+        for mismatch in report.mismatches:
+            print(f"  - {mismatch}")
+        failed = failed or not report.ok
+    return 1 if failed else 0
 
 
 def _cmd_obs(args) -> int:

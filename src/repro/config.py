@@ -1,0 +1,97 @@
+"""One typed configuration object for the whole session.
+
+Before this module, tuning a deployment meant threading four unrelated
+kwarg families (engine, scheduler, insights client, lifecycle) plus CLI
+flags; backend selection would have been a fifth.  :class:`SessionConfig`
+gathers them in one dataclass with environment loading
+(:meth:`SessionConfig.from_env`) and a serializable dump
+(:meth:`SessionConfig.to_dict`) for logging and bench provenance.
+
+``Session(config=SessionConfig(backend="sqlite"))`` is the one-stop
+entry; the individual ``Session`` kwargs remain and override the
+corresponding config fields when both are given.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.backends.base import ExecutionBackend, create_backend
+from repro.engine.engine import EngineConfig
+from repro.insights.client import InsightsClientConfig
+from repro.lifecycle.manager import LifecycleConfig
+from repro.scheduler.scheduler import SchedulerConfig
+from repro.selection.policies import SelectionPolicy
+
+
+@dataclass
+class SessionConfig:
+    """Everything a :class:`repro.api.Session` needs, in one place."""
+
+    #: Execution backend name (``repro.backends.backend_names()``).
+    backend: str = "memory"
+    #: Database file for the SQLite backend; ``None`` = in-memory DB.
+    sqlite_path: Optional[str] = None
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    client: Optional[InsightsClientConfig] = None
+    lifecycle: Optional[LifecycleConfig] = None
+    selection_algorithm: str = "greedy"
+    selection_policy: Optional[SelectionPolicy] = None
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None
+                 ) -> "SessionConfig":
+        """Build a config from ``REPRO_*`` environment variables.
+
+        Recognized: ``REPRO_BACKEND``, ``REPRO_SQLITE_PATH``,
+        ``REPRO_WORKERS``, ``REPRO_VIEW_TTL``, ``REPRO_SELECTION``,
+        ``REPRO_JOURNAL_DIR``, ``REPRO_STORAGE_BUDGET``.  Unset
+        variables keep their defaults.
+        """
+        env = os.environ if environ is None else environ
+        config = cls()
+        if env.get("REPRO_BACKEND"):
+            config.backend = env["REPRO_BACKEND"]
+        if env.get("REPRO_SQLITE_PATH"):
+            config.sqlite_path = env["REPRO_SQLITE_PATH"]
+        if env.get("REPRO_WORKERS"):
+            config.scheduler = dataclasses.replace(
+                config.scheduler, workers=int(env["REPRO_WORKERS"]))
+        if env.get("REPRO_VIEW_TTL"):
+            config.engine.view_ttl_seconds = float(env["REPRO_VIEW_TTL"])
+        if env.get("REPRO_SELECTION"):
+            config.selection_algorithm = env["REPRO_SELECTION"]
+        journal_dir = env.get("REPRO_JOURNAL_DIR")
+        budget = env.get("REPRO_STORAGE_BUDGET")
+        if journal_dir or budget:
+            config.lifecycle = LifecycleConfig(
+                journal_dir=journal_dir,
+                storage_budget_bytes=int(budget) if budget else None,
+            )
+        return config
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data dump for logs and benchmark provenance files."""
+        return {f.name: _plain(getattr(self, f.name))
+                for f in dataclasses.fields(self)}
+
+    def create_backend(self) -> ExecutionBackend:
+        """Instantiate the configured execution backend."""
+        return create_backend(self.backend, sqlite_path=self.sqlite_path)
+
+
+def _plain(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _plain(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)

@@ -84,6 +84,8 @@ class SimulationConfig:
     #: View TTL in simulated seconds (``repro simulate --view-ttl``);
     #: ``None`` keeps the engine default (one week, §3.1).
     view_ttl_seconds: Optional[float] = None
+    #: Execution backend name (``repro simulate --backend``).
+    backend: str = "memory"
 
 
 @dataclass
@@ -135,7 +137,9 @@ class WorkloadSimulation:
             engine_config = EngineConfig()
             if config.view_ttl_seconds is not None:
                 engine_config.view_ttl_seconds = config.view_ttl_seconds
-            engine = ScopeEngine(config=engine_config)
+            from repro.backends import create_backend
+            engine = ScopeEngine(config=engine_config,
+                                 backend=create_backend(config.backend))
         self.engine = engine
         self.controls = controls
         #: Flight recorder for the whole feedback loop.  Installing it

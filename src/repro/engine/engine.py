@@ -24,11 +24,13 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backends.base import ExecutionBackend
+from repro.backends.memory import InMemoryBackend
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import TableSchema
 from repro.common.errors import ReproError
-from repro.executor.executor import ExecutionResult, Executor
-from repro.executor.udo import UdoRegistry, default_registry
+from repro.executor.executor import ExecutionResult
+from repro.executor.udo import UdoRegistry
 from repro.insights.service import InsightsService
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
@@ -126,14 +128,16 @@ class ScopeEngine:
                  insights: Optional[InsightsService] = None,
                  config: Optional[EngineConfig] = None,
                  udos: Optional[UdoRegistry] = None,
-                 recorder=None):
+                 recorder=None,
+                 backend: Optional[ExecutionBackend] = None):
         self.catalog = catalog or Catalog()
-        self.store = store or DataStore()
+        if backend is None:
+            backend = InMemoryBackend(store=store, udos=udos)
+        self.backend = backend
         self.insights = insights or InsightsService()
         self.config = config or EngineConfig()
         self.view_store = ViewStore(self.config.view_ttl_seconds)
         self.history = StatisticsCatalog()
-        self.executor = Executor(self.store, udos or default_registry())
         self._job_counter = itertools.count(1)
         #: Flight recorder; installing one here also wires the insights
         #: service and view store so the whole feedback loop is recorded.
@@ -142,13 +146,29 @@ class ScopeEngine:
             recorder.install(self)
 
     # ------------------------------------------------------------------ #
+    # backend access
+
+    @property
+    def store(self) -> Optional[DataStore]:
+        """The in-memory backend's blob store; ``None`` on external
+        backends (extensions that reach for raw row storage are
+        in-memory-only)."""
+        return getattr(self.backend, "store", None)
+
+    @property
+    def executor(self):
+        """The in-memory backend's interpreter; ``None`` on external
+        backends."""
+        return getattr(self.backend, "executor", None)
+
+    # ------------------------------------------------------------------ #
     # data management
 
     def register_table(self, schema: TableSchema, rows: Sequence[Row],
                        at: float = 0.0) -> None:
         """Register a dataset and load its initial stream."""
         version = self.catalog.register(schema, len(rows), created_at=at)
-        self.store.put(version.guid, list(rows))
+        self.backend.load_table(schema, version.guid, list(rows))
 
     def bulk_update(self, dataset: str, rows: Sequence[Row],
                     at: float = 0.0, keep_versions: int = 3) -> None:
@@ -159,18 +179,21 @@ class ScopeEngine:
         ancient ones are unreachable).
         """
         version = self.catalog.bulk_update(dataset, len(rows), at=at)
-        self.store.put(version.guid, list(rows))
+        self.backend.load_table(self.catalog.schema(dataset), version.guid,
+                                list(rows))
         versions = self.catalog.entry(dataset).versions
         for stale in versions[:-keep_versions]:
-            self.store.delete(stale.guid)
+            self.backend.drop_table(stale.guid)
 
     def gdpr_forget(self, dataset: str, keep_predicate, at: float = 0.0) -> None:
         """Right-to-erasure: drop rows failing ``keep_predicate``."""
         current = self.catalog.current_guid(dataset)
-        kept = [row for row in self.store.get(current) if keep_predicate(row)]
+        kept = [row for row in self.backend.scan_table(current)
+                if keep_predicate(row)]
         removed = self.catalog.current_version(dataset).row_count - len(kept)
         version = self.catalog.gdpr_forget(dataset, rows_removed=removed, at=at)
-        self.store.put(version.guid, kept)
+        self.backend.load_table(self.catalog.schema(dataset), version.guid,
+                                kept)
 
     @property
     def runtime_version(self) -> str:
@@ -328,7 +351,7 @@ class ScopeEngine:
         compiled, pinned = self._pin_view_scans(compiled, now)
         try:
             try:
-                result = self.executor.execute(compiled.plan)
+                result = self.backend.execute(compiled.plan)
             except ReproError:
                 self._abandon_builds(compiled)
                 raise

@@ -347,6 +347,14 @@ class LifecycleManager:
     def _delete_blob(self, path: str) -> None:
         if not self.config.delete_blobs:
             return
+        # Eviction must reach the execution backend, not just the
+        # in-memory store: on an external backend (SQLite) the view is a
+        # real table, and skipping the drop would leak storage the view
+        # catalog no longer tracks after a purge cascade or GC sweep.
+        backend = getattr(self.engine, "backend", None)
+        if backend is not None:
+            backend.drop_view(path)
+            return
         store = getattr(self.engine, "store", None)
         if store is not None and store.has(path):
             store.delete(path)

@@ -61,6 +61,8 @@ class ConcurrentSimulationConfig:
     #: View TTL in simulated seconds (``repro simulate --view-ttl``);
     #: ``None`` keeps the engine default (one week, §3.1).
     view_ttl_seconds: Optional[float] = None
+    #: Execution backend name (``repro simulate --backend``).
+    backend: str = "memory"
 
     def __post_init__(self) -> None:
         validate_selection_algorithm(self.selection_algorithm)
@@ -129,10 +131,12 @@ class ConcurrentSimulation:
             engine_config = EngineConfig()
             if config.view_ttl_seconds is not None:
                 engine_config.view_ttl_seconds = config.view_ttl_seconds
+            from repro.backends import create_backend
             engine = ScopeEngine(
                 insights=InsightsClient(
                     config=client_config, injector=fault_injector),
-                config=engine_config)
+                config=engine_config,
+                backend=create_backend(config.backend))
         self.engine = engine
         self.controls = controls
         self.recorder = recorder or NULL_RECORDER

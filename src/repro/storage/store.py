@@ -68,16 +68,22 @@ class DataStore:
 
 
 def _estimate_bytes(rows: List[Row]) -> int:
-    """Rough byte size of a row list (sampling the first row's width)."""
-    if not rows:
-        return 0
-    first = rows[0]
-    width = 0
-    for value in first.values():
-        if isinstance(value, str):
-            width += max(1, len(value))
-        elif isinstance(value, bool):
-            width += 1
-        else:
-            width += 8
-    return width * len(rows)
+    """Exact byte size of a row list: per-value widths, summed.
+
+    The width rule (strings are their character count, booleans one byte,
+    everything else -- numbers, NULLs, dates -- eight bytes) is shared with
+    the SQL-side accounting in :mod:`repro.backends.sqlite`, and the sum is
+    *row-order invariant*: two backends that produce the same multiset of
+    rows report the same byte count, which keeps per-node statistics,
+    selection inputs, and the view-catalog digest backend-independent.
+    """
+    total = 0
+    for row in rows:
+        for value in row.values():
+            if isinstance(value, bool):
+                total += 1
+            elif isinstance(value, str):
+                total += max(1, len(value))
+            else:
+                total += 8
+    return total

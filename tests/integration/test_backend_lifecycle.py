@@ -1,0 +1,108 @@
+"""Regression: lifecycle purge and GC must drop views on the execution
+backend, not just in the in-memory blob store.
+
+On the SQLite backend a materialized view is a real database table; if
+eviction only forgets the catalog entry, the table leaks storage that
+the budget accounting no longer sees.  These tests build views through
+a full feedback-loop round on a ``Session(backend="sqlite")`` and then
+assert the backing tables are gone after a GDPR purge cascade and after
+a GC sweep.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.catalog import schema_of
+from repro.core import MultiLevelControls
+from repro.lifecycle import LifecycleConfig
+from repro.selection import SelectionPolicy
+
+Q1 = ("SELECT UserId, SUM(Value) AS total FROM Events JOIN Users "
+      "WHERE Segment = 'Asia' AND Day = @run GROUP BY UserId")
+Q2 = ("SELECT Segment, COUNT(*) AS n FROM Events JOIN Users "
+      "WHERE Segment = 'Asia' AND Day = @run GROUP BY Segment")
+PARAMS = {"run": "d0"}
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def session(request, tmp_path):
+    controls = MultiLevelControls()
+    controls.enable_vc("vc1")
+    session = Session(
+        backend=request.param,
+        controls=controls,
+        policy=SelectionPolicy(storage_budget_bytes=10_000_000,
+                               min_reuses_per_epoch=0.0),
+        selection_algorithm="bigsubs",
+        lifecycle=LifecycleConfig(journal_dir=str(tmp_path / "journal")),
+    )
+    session.register_table(
+        schema_of("Events", [("UserId", "int"), ("Day", "str"),
+                             ("Value", "float")]),
+        [dict(UserId=i % 7, Day="d0", Value=float(i)) for i in range(80)])
+    session.register_table(
+        schema_of("Users", [("UserId", "int"), ("Segment", "str")]),
+        [dict(UserId=i, Segment="Asia" if i % 2 else "Europe")
+         for i in range(7)])
+    yield session
+    session.close()
+
+
+def build_views(session):
+    now = 0.0
+    for i, sql in enumerate((Q1, Q2), start=1):
+        session.run(sql, params=PARAMS, virtual_cluster="vc1",
+                    template_id=f"t{i}", now=now)
+        now += 1.0
+    session.analyze_and_publish()
+    now += 10.0
+    for i, sql in enumerate((Q1, Q2), start=1):
+        session.run(sql, params=PARAMS, virtual_cluster="vc1",
+                    template_id=f"t{i}", now=now)
+        now += 1.0
+    return now
+
+
+def view_is_stored(session, path):
+    backend = session.backend
+    if hasattr(backend, "has_view"):
+        return backend.has_view(path)
+    try:
+        backend.scan_view(path)
+        return True
+    except Exception:
+        return False
+
+
+def test_gdpr_purge_drops_backend_views(session):
+    build_views(session)
+    paths = [v.path for v in session.engine.view_store.views()]
+    assert paths, "feedback loop should have materialized views"
+    assert all(view_is_stored(session, p) for p in paths)
+
+    purged = session.lifecycle.forget_stream("Events", at=20.0)
+    assert purged == len(paths)
+    # The cascade marks the views purged; the next sweep collects them
+    # and must reach the backend: every dropped view's backing table
+    # (SQLite) or blob (memory) is gone, not just its catalog entry.
+    session.gc_sweep(now=21.0)
+    assert not any(view_is_stored(session, p) for p in paths)
+
+
+def test_gc_sweep_drops_backend_views(session):
+    build_views(session)
+    paths = [v.path for v in session.engine.view_store.views()]
+    assert paths
+    for view in session.engine.view_store.views():
+        session.engine.view_store.purge(view.signature, reason="test")
+    session.gc_sweep(now=30.0)
+    assert not any(view_is_stored(session, p) for p in paths)
+
+
+def test_expiry_sweep_drops_backend_views(session):
+    build_views(session)
+    ttl = session.engine.config.view_ttl_seconds
+    paths = [v.path for v in session.engine.view_store.views()]
+    assert paths
+    session.gc_sweep(now=ttl + 100.0)
+    assert not any(view_is_stored(session, p) for p in paths)

@@ -1,0 +1,123 @@
+"""The execution-backend interface: registry, capabilities, and the
+backend contract exercised directly (no engine on top).
+"""
+
+import pytest
+
+from repro.backends import (
+    BackendCapabilities,
+    ExecutionBackend,
+    InMemoryBackend,
+    SqliteBackend,
+    backend_names,
+    create_backend,
+)
+from repro.catalog import Catalog, schema_of
+from repro.common.errors import ConfigError, StorageError
+from repro.plan import PlanBuilder, normalize
+from repro.sql import parse
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert {"memory", "sqlite"} <= set(backend_names())
+
+    def test_create_by_name(self):
+        with create_backend("memory") as backend:
+            assert isinstance(backend, InMemoryBackend)
+        with create_backend("sqlite") as backend:
+            assert isinstance(backend, SqliteBackend)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigError, match="memory"):
+            create_backend("oracle")
+
+    def test_capabilities(self):
+        assert InMemoryBackend.capabilities == BackendCapabilities(
+            supports_udos=True, supports_row_capture=True,
+            deterministic_limit=True, external=False)
+        caps = SqliteBackend.capabilities
+        assert caps.external and not caps.supports_udos
+
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            ExecutionBackend()
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def loaded(request):
+    """Either backend with one table loaded, plus a plan builder."""
+    backend = create_backend(request.param)
+    catalog = Catalog()
+    schema = schema_of("T", [("k", "int"), ("v", "float")])
+    version = catalog.register(schema, 3)
+    backend.load_table(schema, version.guid, [
+        dict(k=1, v=1.5), dict(k=2, v=2.5), dict(k=2, v=4.0)])
+    builder = PlanBuilder(catalog)
+    yield backend, version.guid, builder
+    backend.close()
+
+
+def plan_for(builder, sql):
+    builder.params = {}
+    return normalize(builder.build(parse(sql)))
+
+
+class TestBackendContract:
+    def test_scan_table_round_trip(self, loaded):
+        backend, guid, _ = loaded
+        assert backend.scan_table(guid) == [
+            dict(k=1, v=1.5), dict(k=2, v=2.5), dict(k=2, v=4.0)]
+
+    def test_scan_missing_table_raises(self, loaded):
+        backend, _, _ = loaded
+        with pytest.raises(StorageError):
+            backend.scan_table("no-such-guid")
+
+    def test_drop_table_then_scan_raises(self, loaded):
+        backend, guid, _ = loaded
+        backend.drop_table(guid)
+        with pytest.raises(StorageError):
+            backend.scan_table(guid)
+        backend.drop_table(guid)  # idempotent
+
+    def test_execute_returns_rows_and_stats(self, loaded):
+        backend, _, builder = loaded
+        result = backend.execute(plan_for(
+            builder, "SELECT k, SUM(v) AS s FROM T GROUP BY k"))
+        assert sorted(map(repr, result.rows)) == sorted(map(repr, [
+            dict(k=1, s=1.5), dict(k=2, s=6.5)]))
+        assert result.node_stats
+        for _, stats in result.node_stats:
+            assert stats.rows_out >= 0 and stats.bytes_out >= 0
+
+    def test_materialize_scan_drop_view(self, loaded):
+        backend, _, builder = loaded
+        plan = plan_for(builder, "SELECT k FROM T WHERE v > 2")
+        rows, size = backend.materialize_view(plan, "views/test-view")
+        assert rows == 2 and size > 0
+        assert sorted(r["k"] for r in backend.scan_view("views/test-view")) \
+            == [2, 2]
+        backend.drop_view("views/test-view")
+        with pytest.raises(StorageError):
+            backend.scan_view("views/test-view")
+
+    def test_drop_absent_view_is_noop(self, loaded):
+        backend, _, _ = loaded
+        backend.drop_view("views/never-existed")
+
+    def test_materialized_size_matches_both_backends(self):
+        # The (rows, bytes) a view seals with feeds catalog_digest();
+        # both backends must account identically.
+        catalog = Catalog()
+        schema = schema_of("T", [("k", "int"), ("s", "str")])
+        version = catalog.register(schema, 2)
+        rows = [dict(k=1, s="abc"), dict(k=None, s=None)]
+        sizes = {}
+        for name in ("memory", "sqlite"):
+            with create_backend(name) as backend:
+                backend.load_table(schema, version.guid, rows)
+                builder = PlanBuilder(catalog)
+                sizes[name] = backend.materialize_view(
+                    plan_for(builder, "SELECT k, s FROM T"), "views/v")
+        assert sizes["memory"] == sizes["sqlite"]

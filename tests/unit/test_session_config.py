@@ -1,0 +1,90 @@
+"""SessionConfig: environment loading, serialization, and the
+kwarg-overrides-config precedence contract of ``Session``.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.backends import InMemoryBackend, SqliteBackend
+from repro.common.errors import ConfigError
+from repro.config import SessionConfig
+from repro.engine.engine import EngineConfig
+from repro.scheduler.scheduler import SchedulerConfig
+
+
+class TestFromEnv:
+    def test_empty_environment_keeps_defaults(self):
+        config = SessionConfig.from_env({})
+        assert config.backend == "memory"
+        assert config.sqlite_path is None
+        assert config.lifecycle is None
+        assert config.selection_algorithm == "greedy"
+
+    def test_reads_backend_and_path(self):
+        config = SessionConfig.from_env({
+            "REPRO_BACKEND": "sqlite",
+            "REPRO_SQLITE_PATH": "/tmp/views.db",
+        })
+        assert config.backend == "sqlite"
+        assert config.sqlite_path == "/tmp/views.db"
+
+    def test_reads_workers_ttl_selection(self):
+        config = SessionConfig.from_env({
+            "REPRO_WORKERS": "8",
+            "REPRO_VIEW_TTL": "3600",
+            "REPRO_SELECTION": "bigsubs",
+        })
+        assert config.scheduler.workers == 8
+        assert config.engine.view_ttl_seconds == 3600.0
+        assert config.selection_algorithm == "bigsubs"
+
+    def test_lifecycle_only_when_requested(self):
+        config = SessionConfig.from_env({
+            "REPRO_JOURNAL_DIR": "/tmp/journal",
+            "REPRO_STORAGE_BUDGET": "1000000",
+        })
+        assert config.lifecycle is not None
+        assert config.lifecycle.journal_dir == "/tmp/journal"
+        assert config.lifecycle.storage_budget_bytes == 1_000_000
+
+
+class TestToDict:
+    def test_round_trips_to_plain_data(self):
+        dumped = SessionConfig(backend="sqlite").to_dict()
+        assert dumped["backend"] == "sqlite"
+        assert isinstance(dumped["engine"], dict)
+        assert isinstance(dumped["scheduler"], dict)
+        # Must be JSON-serializable all the way down.
+        import json
+        json.dumps(dumped)
+
+
+class TestSessionPrecedence:
+    def test_config_selects_backend(self):
+        with Session(config=SessionConfig(backend="sqlite")) as session:
+            assert isinstance(session.backend, SqliteBackend)
+
+    def test_backend_kwarg_overrides_config(self):
+        config = SessionConfig(backend="sqlite")
+        with Session(config=config, backend="memory") as session:
+            assert isinstance(session.backend, InMemoryBackend)
+
+    def test_backend_instance_passes_through(self):
+        backend = InMemoryBackend()
+        with Session(backend=backend) as session:
+            assert session.backend is backend
+
+    def test_engine_config_kwarg_overrides_config(self):
+        config = SessionConfig(engine=EngineConfig(view_ttl_seconds=10.0))
+        override = EngineConfig(view_ttl_seconds=99.0)
+        with Session(config=config, engine_config=override) as session:
+            assert session.engine.config.view_ttl_seconds == 99.0
+
+    def test_scheduler_config_comes_from_config(self):
+        config = SessionConfig(scheduler=SchedulerConfig(workers=2))
+        with Session(config=config) as session:
+            assert session.scheduler.config.workers == 2
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigError):
+            Session(backend="postgres")
