@@ -26,6 +26,8 @@ import warnings
 
 from repro.api import (
     FaultInjector,
+    FaultPlan,
+    FaultRuntime,
     InsightsClientConfig,
     JobRequest,
     JobResult,
@@ -76,7 +78,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "Session", "JobResult", "JobRequest", "EngineConfig", "SchedulerConfig",
-    "InsightsClientConfig", "FaultInjector",
+    "InsightsClientConfig", "FaultInjector", "FaultPlan", "FaultRuntime",
     "Catalog", "TableSchema", "schema_of", "CloudViews", "DeploymentMode",
     "MultiLevelControls", "SimulationConfig", "SimulationReport",
     "WorkloadSimulation", "CompiledJob", "JobRun",

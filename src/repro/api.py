@@ -33,6 +33,7 @@ from repro.config import SessionConfig
 from repro.core.controls import MultiLevelControls
 from repro.core.runner import record_job_into
 from repro.engine.engine import EngineConfig, ScopeEngine
+from repro.faults import FaultPlan, FaultRuntime, resolve_faults
 from repro.insights.client import (
     FaultInjector,
     InsightsClient,
@@ -57,7 +58,8 @@ __all__ = [
     "JobResult", "JobRequest",
     "EngineConfig", "SchedulerConfig", "InsightsClientConfig",
     "LifecycleConfig",
-    "FaultInjector", "SelectionPolicy", "MultiLevelControls",
+    "FaultInjector", "FaultPlan", "FaultRuntime",
+    "SelectionPolicy", "MultiLevelControls",
 ]
 
 
@@ -75,6 +77,16 @@ class Session:
     :class:`InsightsClient` (request batching, TTL cache, retries,
     circuit breaker); pass ``client_config``/``fault_injector`` to tune
     or perturb that path.
+
+    ``faults`` installs the unified fault-injection framework
+    (:mod:`repro.faults`): a :class:`~repro.faults.FaultPlan`, a
+    pre-built :class:`~repro.faults.FaultRuntime`, or a plan string
+    (JSON or the ``point:kind[:prob[:max_fires[:delay]]]`` DSL).  One
+    runtime is shared by every seam -- backend execute/materialize/
+    scan/drop, journal writes, scheduler workers, insights RPC, GC
+    sweeps -- so a single seed reproduces a whole failure scenario.
+    ``REPRO_FAULTS``/``REPRO_FAULTS_SEED`` do the same from the
+    environment.
     """
 
     def __init__(self, *,
@@ -88,6 +100,7 @@ class Session:
                  policy: Optional[SelectionPolicy] = None,
                  selection_algorithm: Optional[str] = None,
                  lifecycle: Optional[LifecycleConfig] = None,
+                 faults: Optional[Union[str, FaultPlan, FaultRuntime]] = None,
                  recorder=None):
         # Explicit kwargs override the corresponding SessionConfig field.
         self.config = config or SessionConfig()
@@ -99,6 +112,13 @@ class Session:
             else self.config.lifecycle
         selection_algorithm = (selection_algorithm
                                or self.config.selection_algorithm)
+        # Resolution order: explicit kwarg, SessionConfig field,
+        # REPRO_FAULTS in the environment, inert default.
+        if faults is None:
+            faults = self.config.faults
+        if faults is None:
+            faults = FaultPlan.from_env()
+        self.faults = resolve_faults(faults)
         if backend is None:
             backend = self.config.create_backend()
         elif isinstance(backend, str):
@@ -108,6 +128,10 @@ class Session:
         self.service = InsightsService()
         self.insights = InsightsClient(
             self.service, config=client_config, injector=fault_injector)
+        # One shared runtime behind every seam: a single seed then
+        # reproduces the whole failure scenario across layers.
+        backend.faults = self.faults
+        self.insights.faults = self.faults
         self.engine = ScopeEngine(
             insights=self.insights, config=engine_config, backend=backend)
         self.controls = controls or MultiLevelControls()
@@ -118,6 +142,7 @@ class Session:
             scheduler_config or SchedulerConfig(),
             reuse_gate=self._reuse_gate,
         )
+        self.scheduler.faults = self.faults
         self.backend = backend
         self.repository = WorkloadRepository()
         self.last_selection: Optional[SelectionResult] = None
@@ -129,7 +154,8 @@ class Session:
         # After the recorder: journal recovery emits a recorded event.
         self.lifecycle: Optional[LifecycleManager] = None
         if lifecycle is not None:
-            self.lifecycle = LifecycleManager(self.engine, lifecycle)
+            self.lifecycle = LifecycleManager(self.engine, lifecycle,
+                                              faults=self.faults)
 
     # ------------------------------------------------------------------ #
     # data management
@@ -174,13 +200,25 @@ class Session:
 
         Accepts plain SQL strings or :class:`JobRequest` objects.  Failed
         jobs come back as ``JobResult`` with ``ok == False``; the batch
-        itself never raises.
+        itself never raises.  Requests carrying ``template_id`` /
+        ``pipeline_id`` are recorded under that recurring identity (so
+        batch-submitted workloads feed view selection exactly like
+        :meth:`run`); others are recorded as one-off ad-hoc jobs.
         """
         requests = [job if isinstance(job, JobRequest) else JobRequest(sql=job)
                     for job in jobs]
-        return self.scheduler.run_batch(
-            requests, now=now,
-            on_run=lambda run: self._ingest(run))
+        identities: Dict[str, JobRequest] = {}
+        for request in requests:
+            if request.job_id is None:
+                request.job_id = self.engine.next_job_id()
+            identities[request.job_id] = request
+        def ingest(run) -> None:
+            request = identities.get(run.compiled.job_id)
+            self._ingest(
+                run,
+                template_id=request.template_id if request else "",
+                pipeline_id=request.pipeline_id if request else "")
+        return self.scheduler.run_batch(requests, now=now, on_run=ingest)
 
     def _ingest(self, run, template_id: str = "",
                 pipeline_id: str = "") -> None:

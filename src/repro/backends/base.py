@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Sequence
 
 from repro.common.errors import ConfigError
 from repro.executor.executor import ExecutionResult
+from repro.faults.runtime import NULL_FAULTS
 from repro.plan.expressions import Row
 from repro.plan.logical import LogicalPlan
 
@@ -76,6 +77,10 @@ class ExecutionBackend(ABC):
     #: Registry key; subclasses override.
     name: str = "abstract"
     capabilities: BackendCapabilities = BackendCapabilities()
+    #: The session's fault runtime (:mod:`repro.faults`).  Inert by
+    #: default; ``Session(faults=...)`` installs a live runtime so the
+    #: execute/materialize/scan/drop seams can be perturbed.
+    faults = NULL_FAULTS
 
     # ------------------------------------------------------------------ #
     # datasets (streams)

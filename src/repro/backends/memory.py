@@ -15,8 +15,9 @@ from typing import List, Optional, Sequence
 from repro.backends.base import BackendCapabilities, ExecutionBackend
 from repro.executor.executor import ExecutionResult, Executor
 from repro.executor.udo import UdoRegistry
+from repro.faults import points as fault_points
 from repro.plan.expressions import Row
-from repro.plan.logical import LogicalPlan
+from repro.plan.logical import LogicalPlan, Spool, ViewScan
 from repro.storage.store import DataStore, _estimate_bytes
 
 
@@ -52,19 +53,35 @@ class InMemoryBackend(ExecutionBackend):
     # execution
 
     def execute(self, plan: LogicalPlan) -> ExecutionResult:
+        faults = self.faults
+        if faults.enabled:
+            # The interpreter reads views straight out of the DataStore,
+            # so the per-ViewScan and per-Spool seams fire here -- the
+            # same points, in the same plan positions, as the SQLite
+            # backend, keeping fault plans backend-portable.
+            faults.fire(fault_points.BACKEND_EXECUTE)
+            for node in plan.walk():
+                if isinstance(node, ViewScan):
+                    faults.fire(fault_points.BACKEND_SCAN_VIEW)
+                elif isinstance(node, Spool):
+                    faults.fire(fault_points.BACKEND_MATERIALIZE)
         return self.executor.execute(plan)
 
     # ------------------------------------------------------------------ #
     # materialized views
 
     def materialize_view(self, plan: LogicalPlan, view_id: str):
+        self.faults.fire(fault_points.BACKEND_MATERIALIZE)
         rows = self.executor.execute(plan).rows
+        self.faults.fire(fault_points.BACKEND_MATERIALIZE_MID)
         size = _estimate_bytes(rows)
         self.store.put(view_id, rows, row_bytes=size)
         return len(rows), size
 
     def scan_view(self, view_id: str) -> List[Row]:
+        self.faults.fire(fault_points.BACKEND_SCAN_VIEW)
         return self.store.get(view_id)
 
     def drop_view(self, view_id: str) -> None:
+        self.faults.fire(fault_points.BACKEND_DROP_VIEW)
         self.store.delete(view_id)

@@ -14,10 +14,32 @@ value exactly as bound (no affinity coercion), which is a precondition
 for the differential harness's byte-equal guarantee.  One connection is
 shared by all scheduler workers, serialized by a ranked lock at the
 storage tier.
+
+Durability and crash safety (the fault-injection hardening):
+
+* the connection runs in explicit-transaction mode
+  (``isolation_level=None`` + ``BEGIN IMMEDIATE``/``COMMIT``), so every
+  mutation actually commits -- the default driver mode never commits
+  reads-before-writes sessions, which silently discarded file-backed
+  state on close;
+* a ``repro_catalog`` manifest table maps stream GUIDs and view paths
+  to their physical tables.  The manifest row lands **in the same
+  transaction** as the table it describes, so a crash mid-CTAS (the
+  ``backend.materialize.mid`` injection point, or a real process kill)
+  leaves *neither* the table nor the manifest row -- a view is either
+  fully committed or invisible, on restart included;
+* on open, the manifest is replayed into the in-memory lookup maps and
+  any orphan physical table (one with no manifest row -- impossible
+  under the transactional protocol, possible for pre-upgrade files)
+  is dropped;
+* ``sqlite3.OperationalError`` (locked/busy/full -- the transient
+  classes) surfaces as :class:`~repro.common.errors.
+  TransientBackendError` so the engine's bounded retry loop absorbs it.
 """
 
 from __future__ import annotations
 
+import json
 import sqlite3
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,13 +52,18 @@ from repro.backends.sqlite.compile import (
     physical_name,
     quote_ident,
 )
-from repro.common.errors import ExecutionError, StorageError
+from repro.common.errors import (
+    ExecutionError,
+    StorageError,
+    TransientBackendError,
+)
 from repro.common.sync import RANK_STORAGE, TrackedLock
 from repro.executor.executor import (
     ExecutionResult,
     OperatorStats,
     SpoolOutput,
 )
+from repro.faults import points as fault_points
 from repro.plan.expressions import SCALAR_FUNCTIONS, Row, _like_match
 from repro.plan.logical import (
     Join,
@@ -48,6 +75,9 @@ from repro.plan.logical import (
     ViewScan,
     contains_operator,
 )
+
+#: The durable GUID/view-path -> physical-table manifest.
+MANIFEST_TABLE = "repro_catalog"
 
 
 def _py_mod(left, right):
@@ -76,13 +106,24 @@ class SqliteBackend(ExecutionBackend):
     )
 
     def __init__(self, path: Optional[str] = None):
+        # isolation_level=None puts the driver in autocommit mode and
+        # hands transaction control to us: every mutation runs inside an
+        # explicit BEGIN IMMEDIATE .. COMMIT (see _txn_*), which is what
+        # makes view materialization commit-or-abort.
         self._conn = sqlite3.connect(path or ":memory:",
-                                     check_same_thread=False)
+                                     check_same_thread=False,
+                                     isolation_level=None)
         self._mutex = TrackedLock("storage.sqlite", RANK_STORAGE)
         self._tables: Dict[str, TableInfo] = {}
         self._views: Dict[str, TableInfo] = {}
         self._compiler = PlanCompiler(self._tables, self._views)
         self._register_functions()
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {MANIFEST_TABLE} ("
+            "kind TEXT NOT NULL, key TEXT NOT NULL, "
+            "tbl TEXT NOT NULL, columns TEXT NOT NULL, "
+            "classes TEXT NOT NULL, PRIMARY KEY (kind, key))")
+        self._recover()
 
     def _register_functions(self) -> None:
         # Scalar functions run the interpreter's own callables so the
@@ -97,6 +138,67 @@ class SqliteBackend(ExecutionBackend):
         self._conn.create_function("py_like", 3, _py_like, deterministic=True)
 
     # ------------------------------------------------------------------ #
+    # crash recovery
+
+    def _recover(self) -> None:
+        """Replay the manifest into the lookup maps; drop orphans.
+
+        A reopened file-backed database re-registers every committed
+        stream and view; anything half-written by a crash was never
+        committed (SQLite's own journal rolled it back), so the manifest
+        is the single source of truth for what exists.
+        """
+        known = set()
+        for kind, key, tbl, columns, classes in self._conn.execute(
+                f"SELECT kind, key, tbl, columns, classes "
+                f"FROM {MANIFEST_TABLE}"):
+            info = TableInfo(table=tbl,
+                             columns=tuple(json.loads(columns)),
+                             classes=json.loads(classes))
+            (self._tables if kind == "t" else self._views)[key] = info
+            known.add(tbl)
+        # Orphan physical tables (no manifest row) cannot arise from the
+        # transactional write protocol; clean them up anyway so files
+        # written by older versions converge to a consistent state.
+        orphans = [name for (name,) in self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND (name LIKE 't\\_%' ESCAPE '\\' "
+            "     OR name LIKE 'v\\_%' ESCAPE '\\')")
+            if name not in known]
+        for name in orphans:
+            self._conn.execute(f"DROP TABLE IF EXISTS {quote_ident(name)}")
+
+    # ------------------------------------------------------------------ #
+    # transactions
+
+    def _txn_begin(self) -> None:
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+        except sqlite3.OperationalError as error:
+            raise TransientBackendError(
+                f"could not start transaction: {error}") from error
+
+    def _txn_commit(self) -> None:
+        self._conn.execute("COMMIT")
+
+    def _txn_rollback(self) -> None:
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.OperationalError:  # pragma: no cover - no open txn
+            pass
+
+    def _manifest_put(self, kind: str, key: str, info: TableInfo) -> None:
+        self._conn.execute(
+            f"INSERT OR REPLACE INTO {MANIFEST_TABLE} VALUES (?,?,?,?,?)",
+            (kind, key, info.table, json.dumps(list(info.columns)),
+             json.dumps(dict(info.classes))))
+
+    def _manifest_delete(self, kind: str, key: str) -> None:
+        self._conn.execute(
+            f"DELETE FROM {MANIFEST_TABLE} WHERE kind = ? AND key = ?",
+            (kind, key))
+
+    # ------------------------------------------------------------------ #
     # datasets
 
     def load_table(self, schema, guid: str, rows: Sequence[Row]) -> None:
@@ -106,8 +208,16 @@ class SqliteBackend(ExecutionBackend):
             classes=classes_from_schema(schema),
         )
         with self._mutex:
-            self._create_and_fill(info, [
-                tuple(row.get(c) for c in info.columns) for row in rows])
+            self._txn_begin()
+            try:
+                self._create_and_fill(info, [
+                    tuple(row.get(c) for c in info.columns)
+                    for row in rows])
+                self._manifest_put("t", guid, info)
+                self._txn_commit()
+            except BaseException:
+                self._txn_rollback()
+                raise
             self._tables[guid] = info
 
     def scan_table(self, guid: str) -> List[Row]:
@@ -121,8 +231,15 @@ class SqliteBackend(ExecutionBackend):
         with self._mutex:
             info = self._tables.pop(guid, None)
             if info is not None:
-                self._conn.execute(
-                    f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+                self._txn_begin()
+                try:
+                    self._conn.execute(
+                        f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+                    self._manifest_delete("t", guid)
+                    self._txn_commit()
+                except BaseException:
+                    self._txn_rollback()
+                    raise
 
     # ------------------------------------------------------------------ #
     # execution
@@ -132,34 +249,56 @@ class SqliteBackend(ExecutionBackend):
             raise ExecutionError(
                 "the SQLite backend cannot execute Process (UDO) "
                 "operators; run this job on the in-memory backend")
+        faults = self.faults
+        if faults.enabled:
+            faults.fire(fault_points.BACKEND_EXECUTE)
+            for node in plan.walk():
+                if isinstance(node, ViewScan):
+                    faults.fire(fault_points.BACKEND_SCAN_VIEW)
         with self._mutex:
             result = ExecutionResult(rows=[], node_stats=[])
-            # Materialize every Spool bottom-up first: the consuming
-            # query then reads the spool table (compute-once, two
-            # consumers), and nested spools resolve inner-first.
-            for node in _post_order(plan):
-                if isinstance(node, Spool):
-                    self._materialize_spool(node, result)
-            compiled = self._compiler.compile(plan)
-            result.rows = self._fetch(compiled)
-            for node in _post_order(plan):
-                if isinstance(node, ViewScan):
-                    result.views_read.append(node.signature)
-            stats_cache: Dict[str, Tuple[int, int]] = {}
-            self._stats_walk(plan, result, stats_cache)
+            try:
+                # Materialize every Spool bottom-up first: the consuming
+                # query then reads the spool table (compute-once, two
+                # consumers), and nested spools resolve inner-first.
+                for node in _post_order(plan):
+                    if isinstance(node, Spool):
+                        self._materialize_spool(node, result)
+                compiled = self._compiler.compile(plan)
+                result.rows = self._fetch(compiled)
+                for node in _post_order(plan):
+                    if isinstance(node, ViewScan):
+                        result.views_read.append(node.signature)
+                stats_cache: Dict[str, Tuple[int, int]] = {}
+                self._stats_walk(plan, result, stats_cache)
+            except sqlite3.OperationalError as error:
+                raise TransientBackendError(
+                    f"sqlite execution failed: {error}") from error
             return result
 
     def _materialize_spool(self, node: Spool, result: ExecutionResult) -> None:
+        self.faults.fire(fault_points.BACKEND_MATERIALIZE)
         child = self._compiler.compile(node.child)
         info = TableInfo(
             table=physical_name("v", node.view_path),
             columns=child.columns,
             classes=dict(child.classes),
         )
-        self._conn.execute(
-            f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
-        self._conn.execute(
-            f"CREATE TABLE {quote_ident(info.table)} AS {child.sql}")
+        # Commit-or-abort: DROP + CTAS + manifest row are one
+        # transaction, so a crash at any point (including the injected
+        # mid-CTAS kill below) leaves no partially visible view.
+        self._txn_begin()
+        try:
+            self._conn.execute(
+                f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+            self._conn.execute(
+                f"CREATE TABLE {quote_ident(info.table)} AS {child.sql}")
+            self.faults.fire(fault_points.BACKEND_MATERIALIZE_MID)
+            self._manifest_put("v", node.view_path, info)
+            self._txn_commit()
+        except BaseException:
+            self._txn_rollback()
+            raise
         self._views[node.view_path] = info
         rows, size = self._measure(
             CompiledQuery(f"SELECT * FROM {quote_ident(info.table)}",
@@ -212,6 +351,7 @@ class SqliteBackend(ExecutionBackend):
             raise ExecutionError(
                 "the SQLite backend cannot execute Process (UDO) "
                 "operators; run this job on the in-memory backend")
+        self.faults.fire(fault_points.BACKEND_MATERIALIZE)
         with self._mutex:
             compiled = self._compiler.compile(plan)
             info = TableInfo(
@@ -219,16 +359,30 @@ class SqliteBackend(ExecutionBackend):
                 columns=compiled.columns,
                 classes=dict(compiled.classes),
             )
-            self._conn.execute(
-                f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
-            self._conn.execute(
-                f"CREATE TABLE {quote_ident(info.table)} AS {compiled.sql}")
+            self._txn_begin()
+            try:
+                self._conn.execute(
+                    f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+                self._conn.execute(
+                    f"CREATE TABLE {quote_ident(info.table)} "
+                    f"AS {compiled.sql}")
+                self.faults.fire(fault_points.BACKEND_MATERIALIZE_MID)
+                self._manifest_put("v", view_id, info)
+                self._txn_commit()
+            except sqlite3.OperationalError as error:
+                self._txn_rollback()
+                raise TransientBackendError(
+                    f"sqlite materialization failed: {error}") from error
+            except BaseException:
+                self._txn_rollback()
+                raise
             self._views[view_id] = info
             return self._measure(
                 CompiledQuery(f"SELECT * FROM {quote_ident(info.table)}",
                               info.columns, info.classes), {})
 
     def scan_view(self, view_id: str) -> List[Row]:
+        self.faults.fire(fault_points.BACKEND_SCAN_VIEW)
         with self._mutex:
             info = self._views.get(view_id)
             if info is None:
@@ -236,11 +390,19 @@ class SqliteBackend(ExecutionBackend):
             return self._fetch_table(info)
 
     def drop_view(self, view_id: str) -> None:
+        self.faults.fire(fault_points.BACKEND_DROP_VIEW)
         with self._mutex:
             info = self._views.pop(view_id, None)
             if info is not None:
-                self._conn.execute(
-                    f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+                self._txn_begin()
+                try:
+                    self._conn.execute(
+                        f"DROP TABLE IF EXISTS {quote_ident(info.table)}")
+                    self._manifest_delete("v", view_id)
+                    self._txn_commit()
+                except BaseException:
+                    self._txn_rollback()
+                    raise
 
     def has_view(self, view_id: str) -> bool:
         """True while a view's backing table exists (used by tests)."""

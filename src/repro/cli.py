@@ -172,6 +172,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos campaign: run the cooking workload under seeded "
+             "fault plans and assert every job completes, results stay "
+             "byte-identical to a fault-free run, and the catalog "
+             "recovers to a consistent digest")
+    chaos.add_argument("--seed", default="0..4", metavar="SPEC",
+                       help="campaign seeds: one int, a comma list "
+                            "('0,3,9'), or an inclusive range ('0..4'); "
+                            "default 0..4")
+    chaos.add_argument("--backend", default="memory",
+                       choices=sorted(backend_names()) + ["all"],
+                       help="execution backend under test, or 'all'")
+    chaos.add_argument("--days", type=int, default=3,
+                       help="cooking-workload days per run")
+    chaos.add_argument("--plan", action="store_true",
+                       help="print each seed's fault plan and exit "
+                            "without running anything")
+
     gc = sub.add_parser(
         "gc", help="view lifecycle operations against a catalog journal "
                    "(sweep, GDPR forget, epoch bump, stats)")
@@ -211,6 +230,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
         "lint": _cmd_lint,
         "gc": _cmd_gc,
+        "chaos": _cmd_chaos,
     }[args.command]
     try:
         return handler(args)
@@ -492,6 +512,54 @@ def _cmd_explain(args) -> int:
                               reuse_enabled=False)
     print(compiled.plan.explain())
     return 0
+
+
+def _parse_seed_spec(spec: str) -> List[int]:
+    """``'7'``, ``'0,3,9'``, or the inclusive range ``'0..4'``."""
+    spec = spec.strip()
+    if ".." in spec:
+        low, high = spec.split("..", 1)
+        start, stop = int(low), int(high)
+        if stop < start:
+            raise ValueError(f"empty seed range {spec!r}")
+        return list(range(start, stop + 1))
+    return [int(part) for part in spec.split(",") if part.strip()]
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import (
+        campaign_plan,
+        check_ctas_crash_recovery,
+        run_campaign,
+    )
+
+    # CI overrides the seed matrix without touching workflow args.
+    spec = os.environ.get("REPRO_CHAOS_SEEDS", args.seed)
+    try:
+        seeds = _parse_seed_spec(spec)
+    except ValueError as error:
+        print(f"bad --seed spec: {error}", file=sys.stderr)
+        return 2
+    if args.plan:
+        for seed in seeds:
+            plan = campaign_plan(seed)
+            print(f"seed {seed}: " + "; ".join(
+                f"{s.point}:{s.kind}(p={s.probability},"
+                f"max={s.max_fires})" for s in plan.specs))
+        return 0
+    backends = (sorted(backend_names()) if args.backend == "all"
+                else [args.backend])
+    failed = False
+    for backend in backends:
+        report = run_campaign(seeds, backend=backend, days=args.days)
+        print(report.summary())
+        if not report.ok:
+            failed = True
+        if backend == "sqlite":
+            # The restart-consistency probe only means something on a
+            # backend with durable state.
+            print(check_ctas_crash_recovery())
+    return 1 if failed else 0
 
 
 def _cmd_lint(args) -> int:

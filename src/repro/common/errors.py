@@ -41,6 +41,26 @@ class ExecutionError(ReproError):
     """Raised when a physical operator fails at run time."""
 
 
+class TransientBackendError(ExecutionError):
+    """A retryable backend failure (flaky I/O, a busy database file).
+
+    The engine's bounded retry loop (:class:`~repro.engine.engine.
+    EngineConfig` ``execute_retries``) absorbs these before they can
+    surface to a caller; only exhaustion propagates.
+    """
+
+
+class InjectedCrash(TransientBackendError):
+    """Simulated process/worker death from the fault-injection framework.
+
+    Raised by :meth:`repro.faults.runtime.FaultRuntime.fire` for
+    ``crash``-kind specs.  Everything in flight is torn down exactly as
+    an OS kill would leave it (open transactions roll back), and both
+    the engine's transient retry and the scheduler's worker-retry loop
+    treat it as retryable.
+    """
+
+
 class CatalogError(ReproError):
     """Raised for unknown datasets, duplicate registrations, and the like."""
 

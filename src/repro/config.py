@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 from repro.backends.base import ExecutionBackend, create_backend
 from repro.engine.engine import EngineConfig
+from repro.faults.plan import FaultPlan
 from repro.insights.client import InsightsClientConfig
 from repro.lifecycle.manager import LifecycleConfig
 from repro.scheduler.scheduler import SchedulerConfig
@@ -41,6 +42,9 @@ class SessionConfig:
     lifecycle: Optional[LifecycleConfig] = None
     selection_algorithm: str = "greedy"
     selection_policy: Optional[SelectionPolicy] = None
+    #: Fault-injection plan (:class:`~repro.faults.FaultPlan`, a plan
+    #: string, or a pre-built runtime); ``None`` = injection disabled.
+    faults: Optional[object] = None
 
     @classmethod
     def from_env(cls, environ: Optional[Dict[str, str]] = None
@@ -49,11 +53,13 @@ class SessionConfig:
 
         Recognized: ``REPRO_BACKEND``, ``REPRO_SQLITE_PATH``,
         ``REPRO_WORKERS``, ``REPRO_VIEW_TTL``, ``REPRO_SELECTION``,
-        ``REPRO_JOURNAL_DIR``, ``REPRO_STORAGE_BUDGET``.  Unset
-        variables keep their defaults.
+        ``REPRO_JOURNAL_DIR``, ``REPRO_STORAGE_BUDGET``,
+        ``REPRO_FAULTS`` (+ ``REPRO_FAULTS_SEED``).  Unset variables
+        keep their defaults.
         """
         env = os.environ if environ is None else environ
         config = cls()
+        config.faults = FaultPlan.from_env(env)
         if env.get("REPRO_BACKEND"):
             config.backend = env["REPRO_BACKEND"]
         if env.get("REPRO_SQLITE_PATH"):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,7 +29,11 @@ from repro.backends.base import ExecutionBackend
 from repro.backends.memory import InMemoryBackend
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import TableSchema
-from repro.common.errors import ReproError
+from repro.common.errors import (
+    ReproError,
+    StorageError,
+    TransientBackendError,
+)
 from repro.executor.executor import ExecutionResult
 from repro.executor.udo import UdoRegistry
 from repro.insights.service import InsightsService
@@ -70,6 +75,19 @@ class EngineConfig:
     #: Run the soundness analyzer on every compile's post-match and
     #: post-buildout plans, raising LintError on error findings.
     debug_checks: bool = field(default_factory=_debug_checks_default)
+    #: Transient backend failures (busy database file, injected flaky
+    #: I/O) are retried this many times before the job surfaces an
+    #: error.  Crashes injected by the fault framework count as
+    #: transient: everything in flight rolled back, so a retry is safe.
+    execute_retries: int = 2
+    #: Sleep ``backoff * 2**attempt`` (capped at 1s) between transient
+    #: retries.  Zero -- the default, and what every test uses -- retries
+    #: immediately; simulated time does not advance either way.
+    retry_backoff_seconds: float = 0.0
+    #: A view whose *read* has failed this many times is quarantined:
+    #: purged from the catalog so the matcher stops routing jobs at it,
+    #: and hard-removed by the next GC sweep.  Zero disables quarantine.
+    quarantine_failures: int = 3
 
 
 @dataclass
@@ -139,6 +157,9 @@ class ScopeEngine:
         self.view_store = ViewStore(self.config.view_ttl_seconds)
         self.history = StatisticsCatalog()
         self._job_counter = itertools.count(1)
+        #: Consecutive read-failure counts per view signature, feeding
+        #: the quarantine policy (``EngineConfig.quarantine_failures``).
+        self._view_failures: Dict[str, int] = {}
         #: Flight recorder; installing one here also wires the insights
         #: service and view store so the whole feedback loop is recorded.
         self.recorder = NULL_RECORDER
@@ -347,11 +368,32 @@ class ScopeEngine:
         in the window between the matcher's claim and this pin (a GC
         sweep or purge cascade won the race), the job falls back to a
         reuse-free recompile -- a lost claim is just a recompute.
+
+        Failure hardening (the paper's "reuse must never fail a job"):
+
+        * transient backend errors retry up to ``execute_retries`` times
+          (:meth:`_execute_attempts`);
+        * a :class:`StorageError` from a plan that touched views -- a
+          view read failing, a spool that cannot write -- abandons the
+          builds, notes the failure against every view the plan read
+          (quarantining repeat offenders), and re-runs the job as a
+          reuse-free recompile.  Only a plain plan's storage error (a
+          missing stream, which no recompile can fix) propagates.
         """
         compiled, pinned = self._pin_view_scans(compiled, now)
         try:
             try:
-                result = self.backend.execute(compiled.plan)
+                result = self._execute_attempts(compiled, now)
+            except StorageError:
+                self._abandon_builds(compiled)
+                for signature in pinned:
+                    self.view_store.unpin(signature)
+                pinned = []
+                fallback = self._storage_fallback(compiled, now)
+                if fallback is None:
+                    raise
+                compiled = fallback
+                result = self._execute_attempts(compiled, now)
             except ReproError:
                 self._abandon_builds(compiled)
                 raise
@@ -365,6 +407,78 @@ class ScopeEngine:
         if record_history:
             self._record_history(result)
         return run
+
+    def _execute_attempts(self, compiled: CompiledJob,
+                          now: float) -> ExecutionResult:
+        """Run the plan, absorbing up to ``execute_retries`` transient
+        failures (flaky I/O, injected crashes -- anything whose partial
+        effects are guaranteed rolled back)."""
+        retries = max(0, self.config.execute_retries)
+        backoff = self.config.retry_backoff_seconds
+        for attempt in range(retries + 1):
+            try:
+                return self.backend.execute(compiled.plan)
+            except TransientBackendError as error:
+                if attempt >= retries:
+                    raise
+                self.recorder.inc("execute.transient_retries")
+                self.recorder.event(
+                    obs_events.EXECUTE_RETRY, at=now,
+                    job_id=compiled.job_id,
+                    virtual_cluster=compiled.virtual_cluster,
+                    attempt=attempt + 1, error=str(error))
+                if backoff > 0:
+                    time.sleep(min(backoff * (2 ** attempt), 1.0))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _storage_fallback(self, compiled: CompiledJob,
+                          now: float) -> Optional[CompiledJob]:
+        """After a storage failure: degrade to plain recompute, or None.
+
+        Only meaningful when the failed plan actually involved reuse (a
+        ViewScan that could not be read, a Spool that could not write);
+        a plain plan's storage error is a real data problem and returns
+        ``None`` so the caller re-raises.  Every view the failed plan
+        read gets a strike; repeat offenders are quarantined.
+        """
+        touched = [node for node in compiled.plan.walk()
+                   if isinstance(node, (Spool, ViewScan))]
+        if not touched:
+            return None
+        self._note_view_failures(compiled, now)
+        self.recorder.inc("execute.reuse_fallbacks")
+        self.recorder.event(obs_events.REUSE_FALLBACK, at=now,
+                            job_id=compiled.job_id,
+                            virtual_cluster=compiled.virtual_cluster,
+                            reason="view_read_failure")
+        return self.compile(
+            compiled.sql,
+            params=compiled.params,
+            virtual_cluster=compiled.virtual_cluster,
+            reuse_enabled=False,
+            now=now,
+            job_id=compiled.job_id,
+        )
+
+    def _note_view_failures(self, compiled: CompiledJob, now: float) -> None:
+        """One strike per view the failed plan read; quarantine at the
+        configured threshold (purge -> excluded from matching -> GC)."""
+        threshold = self.config.quarantine_failures
+        for node in compiled.plan.walk():
+            if not isinstance(node, ViewScan):
+                continue
+            count = self._view_failures.get(node.signature, 0) + 1
+            self._view_failures[node.signature] = count
+            if threshold <= 0 or count < threshold:
+                continue
+            if self.view_store.get(node.signature) is None:
+                continue
+            self.view_store.purge(node.signature, reason="quarantined")
+            self.recorder.inc("engine.views.quarantined")
+            self.recorder.event(obs_events.VIEW_QUARANTINED, at=now,
+                                signature=node.signature,
+                                failures=count,
+                                job_id=compiled.job_id)
 
     def _pin_view_scans(self, compiled: CompiledJob,
                         now: float) -> Tuple[CompiledJob, List[str]]:

@@ -28,8 +28,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TextIO
 
-from repro.common.errors import StorageError
+from repro.common.errors import ReproError, StorageError
 from repro.common.sync import RANK_LEAF, TrackedLock
+from repro.faults import points as fault_points
+from repro.faults.runtime import NULL_FAULTS
 from repro.lifecycle.lineage import LineageRegistry
 from repro.storage.views import MaterializedView, ViewStore
 
@@ -77,6 +79,9 @@ class RecoveryReport:
     runtime_version: str = ""
     #: Ops the replay could not apply (op, reason) -- should stay empty.
     skipped: List[List[str]] = field(default_factory=list)
+    #: WAL lines that failed to decode (a crash mid-append leaves at
+    #: most one torn line; every intact op around it still replays).
+    torn_lines: int = 0
 
     @property
     def recovered_anything(self) -> bool:
@@ -100,6 +105,16 @@ class CatalogJournal:
         self.ops_written = 0
         self.ops_since_snapshot = 0
         self.snapshots_written = 0
+        #: The session's fault runtime; the lifecycle manager installs a
+        #: live one so torn/partial WAL writes can be injected.
+        self.faults = NULL_FAULTS
+        #: True after an injected torn write: the WAL's final line is a
+        #: partial record with no newline.  The next successful append
+        #: self-heals by starting on a fresh line, exactly as a restarted
+        #: process appending after a crash would.
+        self._torn_pending = False
+        #: Undecodable lines seen by the most recent :meth:`wal_ops` scan.
+        self.last_scan_torn = 0
 
     @property
     def wal_path(self) -> str:
@@ -113,19 +128,49 @@ class CatalogJournal:
     # the write-ahead log
 
     def append(self, op: str, **payload: object) -> None:
-        """Durably record one catalog mutation, in applied order."""
+        """Durably record one catalog mutation, in applied order.
+
+        The ``journal.append`` fault point simulates a crash mid-write: a
+        ``torn`` fault persists a *prefix* of the record (no trailing
+        newline -- the classic torn JSONL line) before raising, a
+        ``storage`` fault fails before any byte lands.  Either way the
+        caller sees :class:`StorageError`; the op is not counted.
+        """
         line = json.dumps({"op": op, **payload}, sort_keys=True)
         with self._mutex:
+            outcome = self.faults.check(fault_points.JOURNAL_APPEND)
+            if outcome.kind == "storage":
+                raise StorageError(
+                    f"injected storage fault writing op {op!r}")
             if self._wal is None:
                 self._wal = open(self.wal_path, "a", encoding="utf-8")
+            if self._torn_pending:
+                # Start on a fresh line past the torn partial record.
+                self._wal.write("\n")
+                self._torn_pending = False
+            if outcome.kind == "torn":
+                self._wal.write(line[:max(1, len(line) // 2)])
+                self._wal.flush()
+                self._torn_pending = True
+                raise StorageError(
+                    f"injected torn write for op {op!r}")
             self._wal.write(line + "\n")
             self._wal.flush()
             self.ops_written += 1
             self.ops_since_snapshot += 1
 
     def wal_ops(self) -> List[Dict[str, object]]:
-        """The current WAL contents (tolerates a torn final line --
-        exactly what a crash mid-append leaves behind)."""
+        """The current WAL contents, skipping undecodable lines.
+
+        A crash mid-append leaves a torn line (usually, but not always,
+        the final one: a process that crashed, healed, and crashed again
+        can leave one mid-file).  Each torn line is *skipped* rather than
+        treated as end-of-log -- every intact op after it still counts --
+        and tallied in :attr:`last_scan_torn`.  The old behavior of
+        truncating the replay at the first bad line silently dropped
+        every op a healed journal appended afterwards.
+        """
+        self.last_scan_torn = 0
         if not os.path.exists(self.wal_path):
             return []
         ops: List[Dict[str, object]] = []
@@ -137,7 +182,7 @@ class CatalogJournal:
                 try:
                     ops.append(json.loads(line))
                 except json.JSONDecodeError:
-                    break  # torn tail: everything before it is intact
+                    self.last_scan_torn += 1
         return ops
 
     # ------------------------------------------------------------------ #
@@ -148,8 +193,12 @@ class CatalogJournal:
         """Write a full-state snapshot and truncate the WAL.
 
         The snapshot lands via write-to-temp + rename so a crash mid-write
-        leaves the previous snapshot intact.
+        leaves the previous snapshot intact -- which is also why the
+        ``journal.snapshot`` fault point (fired before the rename) only
+        ever costs the *new* snapshot: recovery falls back to the
+        previous one plus the still-untruncated WAL.
         """
+        self.faults.fire(fault_points.JOURNAL_SNAPSHOT)
         payload = {
             "views": [view_to_record(v) for v in
                       sorted(store.views(), key=lambda v: v.signature)],
@@ -198,7 +247,13 @@ class CatalogJournal:
             report.runtime_version = str(payload.get("runtime_version", ""))
         for op in self.wal_ops():
             report.wal_ops += 1
-            self._apply(store, lineage, op, report)
+            try:
+                self._apply(store, lineage, op, report)
+            except (ReproError, KeyError, ValueError, TypeError):
+                # A malformed-but-decodable op (half a payload survived
+                # the tear) must not abort recovery of everything else.
+                report.skipped.append([str(op.get("op")), "malformed"])
+        report.torn_lines = self.last_scan_torn
         report.views_restored = len(store.views())
         return report
 
@@ -264,6 +319,7 @@ class CatalogJournal:
             "wal_bytes": (os.path.getsize(self.wal_path)
                           if os.path.exists(self.wal_path) else 0),
             "has_snapshot": os.path.exists(self.snapshot_path),
+            "torn_pending": self._torn_pending,
         }
 
     def close(self) -> None:

@@ -28,7 +28,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ReproError
+from repro.faults import points as fault_points
+from repro.faults.runtime import NULL_FAULTS
 from repro.lifecycle.gc import GcJanitor, SweepResult, gc_score
 from repro.lifecycle.invalidation import (
     GdprForget,
@@ -82,9 +84,11 @@ class LifecycleConfig:
 class LifecycleManager:
     """Drives the view lifecycle of one engine; see the module docstring."""
 
-    def __init__(self, engine, config: Optional[LifecycleConfig] = None):
+    def __init__(self, engine, config: Optional[LifecycleConfig] = None,
+                 faults=None):
         self.engine = engine
         self.config = config or LifecycleConfig()
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.store = engine.view_store
         self.insights = engine.insights
         self.catalog = engine.catalog
@@ -92,10 +96,18 @@ class LifecycleManager:
         self.bus = InvalidationBus()
         self.epoch = 0
         self.cascades = 0
+        #: Journal appends that failed (injected torn/partial writes).
+        #: The mutation itself is already applied in memory -- the WAL
+        #: just missed one op, which the next snapshot makes durable.
+        self.journal_errors = 0
+        #: Backend drops that failed during a sweep; the blob stays for
+        #: the next sweep to retry.
+        self.blob_delete_failures = 0
         self.last_recovery: Optional[RecoveryReport] = None
         self.journal: Optional[CatalogJournal] = None
         if self.config.journal_dir is not None:
             self.journal = CatalogJournal(self.config.journal_dir)
+            self.journal.faults = self.faults
             self._recover()
         # Listener wiring strictly after recovery: replay must not
         # re-journal itself.
@@ -131,6 +143,12 @@ class LifecycleManager:
                 wal_ops=report.wal_ops,
                 views_restored=report.views_restored,
                 epoch=report.epoch)
+        if report.torn_lines:
+            self.recorder.inc("journal.torn_tails", report.torn_lines)
+            self.recorder.event(
+                obs_events.JOURNAL_TORN_TAIL,
+                torn_lines=report.torn_lines,
+                wal_ops=report.wal_ops)
 
     # ------------------------------------------------------------------ #
     # the view store's mutation feed (called with the store mutex held)
@@ -162,10 +180,20 @@ class LifecycleManager:
     def _journal(self, op: str, **payload) -> None:
         if self.journal is None:
             return
-        self.journal.append(op, **payload)
-        if (self.journal.ops_since_snapshot
-                >= self.config.snapshot_every_ops):
-            self.snapshot()
+        try:
+            self.journal.append(op, **payload)
+            if (self.journal.ops_since_snapshot
+                    >= self.config.snapshot_every_ops):
+                self.snapshot()
+        except ReproError:
+            # Runs under the store mutex, so only counters here (no
+            # recorder events).  The in-memory mutation already applied;
+            # a lost WAL op (or deferred snapshot) costs durability of
+            # that op until the next snapshot captures full state --
+            # never correctness of the live catalog, and never the
+            # caller's job.
+            self.journal_errors += 1
+            self.recorder.inc("journal.write_errors")
 
     # ------------------------------------------------------------------ #
     # the catalog's stream-version feed
@@ -285,9 +313,22 @@ class LifecycleManager:
     # GC sweep (the janitor's unit of work)
 
     def sweep(self, now: float = 0.0) -> SweepResult:
-        """One GC pass: expiry, purged-entry collection, budget eviction."""
+        """One GC pass: expiry, purged-entry collection, budget eviction.
+
+        An injected storage fault at ``gc.sweep`` aborts the pass before
+        it touches anything; GC is idempotent, so the next sweep simply
+        redoes the work.  Callers (the janitor thread, ``repro gc``)
+        never see the exception.
+        """
         started = time.perf_counter()
         result = SweepResult(at=now)
+        try:
+            self.faults.fire(fault_points.GC_SWEEP)
+        except ReproError as error:
+            self.recorder.inc("gc.sweeps_aborted")
+            self.recorder.event(obs_events.GC_SWEEP_ABORTED, at=now,
+                                error=str(error))
+            return result
         result.storage_before = self.store.storage_in_use(now)
 
         expired_views = self.store.evict_expired(now)
@@ -353,7 +394,15 @@ class LifecycleManager:
         # catalog no longer tracks after a purge cascade or GC sweep.
         backend = getattr(self.engine, "backend", None)
         if backend is not None:
-            backend.drop_view(path)
+            try:
+                backend.drop_view(path)
+            except ReproError as error:
+                # Leave the blob for a later sweep; a failed drop must
+                # not abort the rest of the pass.
+                self.blob_delete_failures += 1
+                self.recorder.inc("gc.blob_delete_failures")
+                self.recorder.event(obs_events.VIEW_DROP_FAILED,
+                                    path=path, error=str(error))
             return
         store = getattr(self.engine, "store", None)
         if store is not None and store.has(path):
@@ -390,6 +439,8 @@ class LifecycleManager:
             "runtime_version": self.engine.runtime_version,
             "cascades": self.cascades,
             "gc_sweeps": self.janitor.sweeps,
+            "journal_errors": self.journal_errors,
+            "blob_delete_failures": self.blob_delete_failures,
         }
         out.update({f"counter_{k}": v
                     for k, v in self.store.counters().items()})
@@ -406,6 +457,12 @@ class LifecycleManager:
         self.janitor.recorder = self.recorder
         self.janitor.stop()
         if self.journal is not None:
+            # Clean shutdown runs with injection disabled: the
+            # ``journal.snapshot`` point models losing a *periodic*
+            # snapshot (recovery falls back to the previous one plus the
+            # WAL); failing the final shutdown snapshot would instead
+            # turn every chaos-campaign teardown into a spurious error.
+            self.journal.faults = NULL_FAULTS
             self.snapshot()
             self.journal.close()
         self.store.remove_listener(self._on_store_mutation)

@@ -60,6 +60,17 @@ GC_STOP_TIMEOUT = "gc.stop_timeout"
 # A claimed view vanished between compile and execute (the GC sweep won
 # the race); the job fell back to a reuse-free recompile.
 REUSE_FALLBACK = "execute.reuse_fallback"
+# Failure hardening (the fault-injection subsystem's degradation trail):
+# every retry, quarantine, torn journal record, and aborted sweep leaves
+# a flight-recorder event so chaos campaigns can audit the reuse path's
+# graceful-degradation guarantees after the fact.
+EXECUTE_RETRY = "execute.retry"
+VIEW_QUARANTINED = "view.quarantined"
+WORKER_RETRIED = "scheduler.worker_retried"
+JOURNAL_TORN_TAIL = "journal.torn_tail"
+JOURNAL_WRITE_FAILED = "journal.write_failed"
+GC_SWEEP_ABORTED = "gc.sweep_aborted"
+VIEW_DROP_FAILED = "view.drop_failed"
 
 ALL_KINDS = (
     VIEW_CREATED, VIEW_SEALED, VIEW_REUSED, VIEW_INVALIDATED, VIEW_EVICTED,
@@ -70,6 +81,9 @@ ALL_KINDS = (
     LIFECYCLE_CASCADE, GC_SWEEP, EPOCH_BUMPED,
     JOURNAL_SNAPSHOT, JOURNAL_RECOVERED,
     SANITIZER_VIOLATION, GC_STOP_TIMEOUT, REUSE_FALLBACK,
+    EXECUTE_RETRY, VIEW_QUARANTINED, WORKER_RETRIED,
+    JOURNAL_TORN_TAIL, JOURNAL_WRITE_FAILED,
+    GC_SWEEP_ABORTED, VIEW_DROP_FAILED,
 )
 
 

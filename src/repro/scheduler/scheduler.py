@@ -34,9 +34,16 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.common.errors import AdmissionError, ConfigError, SchedulerError
+from repro.common.errors import (
+    AdmissionError,
+    ConfigError,
+    InjectedCrash,
+    SchedulerError,
+)
 from repro.common.sync import RANK_SCHEDULER, TrackedLock
 from repro.engine.engine import JobRun, ScopeEngine
+from repro.faults import points as fault_points
+from repro.faults.runtime import NULL_FAULTS
 from repro.obs import events as obs_events
 from repro.obs.recorder import NULL_RECORDER
 from repro.scheduler.results import JobResult
@@ -54,6 +61,10 @@ class SchedulerConfig:
     #: ``"block"`` back-pressures ``submit``; ``"reject"`` raises
     #: :class:`AdmissionError` when the pending limit is hit.
     admission: str = "block"
+    #: A worker killed by an injected crash (``scheduler.worker``) is
+    #: restarted in place this many times -- modelling the cluster
+    #: rescheduling a dead task -- before the job fails for real.
+    worker_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -61,6 +72,9 @@ class SchedulerConfig:
         if self.max_pending < 0:
             raise ConfigError(
                 f"max_pending must be >= 0, got {self.max_pending}")
+        if self.worker_retries < 0:
+            raise ConfigError(
+                f"worker_retries must be >= 0, got {self.worker_retries}")
         if self.admission not in _ADMISSION_MODES:
             raise ConfigError(
                 f"admission must be one of {_ADMISSION_MODES}, "
@@ -78,6 +92,11 @@ class JobRequest:
     #: Pre-assigned id; drawn from ``engine.next_job_id()`` at submission
     #: when omitted.
     job_id: Optional[str] = None
+    #: Recurring-job identity for workload analysis.  Batch submissions
+    #: that leave these empty are recorded as one-off ad-hoc jobs and
+    #: never feed view selection.
+    template_id: str = ""
+    pipeline_id: str = ""
 
 
 class _Pending:
@@ -132,6 +151,9 @@ class JobScheduler:
         self._waves = 0
         self.jobs_submitted = 0
         self.jobs_failed = 0
+        #: The session's fault runtime; ``Session(faults=...)`` installs
+        #: a live one so the ``scheduler.worker`` death seam can fire.
+        self.faults = NULL_FAULTS
 
     # ------------------------------------------------------------------ #
     # submission
@@ -156,7 +178,29 @@ class JobScheduler:
         return job_id
 
     def _work(self, request: JobRequest, job_id: str, now: float):
-        """Worker-thread body: compile + execute, side effects deferred."""
+        """Worker-thread body: compile + execute, side effects deferred.
+
+        The ``scheduler.worker`` fault point simulates the worker dying
+        before it makes progress; the engine's own failure paths released
+        everything on the way out, so restarting the attempt in place is
+        exactly what the cluster's task rescheduler would do.
+        """
+        retries = self.config.worker_retries
+        for attempt in range(retries + 1):
+            try:
+                self.faults.fire(fault_points.SCHEDULER_WORKER)
+                return self._attempt(request, job_id, now)
+            except InjectedCrash:
+                if attempt >= retries:
+                    raise
+                self.recorder.inc("scheduler.worker_retries")
+                self.recorder.event(
+                    obs_events.WORKER_RETRIED, at=now, job_id=job_id,
+                    virtual_cluster=request.virtual_cluster,
+                    attempt=attempt + 1)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _attempt(self, request: JobRequest, job_id: str, now: float):
         reuse = request.reuse_enabled
         if reuse and self.reuse_gate is not None:
             reuse = self.reuse_gate(request.virtual_cluster)

@@ -1,0 +1,106 @@
+"""Property: no single injected fault can change a job's results.
+
+For any single fault spec drawn from the full injection-point registry,
+on either backend, with reuse on or off, every job in a small recurring
+workload must return rows byte-identical to the fault-free run.  Only
+the build/reuse *decisions* are allowed to differ -- the retry loop,
+the reuse-free fallback, worker respawns, and the insights degradation
+path have to absorb everything else.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.backends.differential import canonical_rows
+from repro.catalog import schema_of
+from repro.core import MultiLevelControls
+from repro.faults import FaultPlan, FaultRuntime, FaultSpec, points
+from repro.selection import SelectionPolicy
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+QUERIES = [
+    ("t-agg", "SELECT Day, SUM(Value) AS total FROM Events "
+              "GROUP BY Day"),
+    ("t-count", "SELECT Day, COUNT(*) AS n FROM Events GROUP BY Day"),
+    ("t-user", "SELECT UserId, SUM(Value) AS total FROM Events "
+               "GROUP BY UserId"),
+]
+
+#: Every (point, kind) pair the registry admits -- the property must
+#: hold for all of them, including seams this workload never reaches.
+ALL_SPECS = [(point, kind)
+             for point in points.ALL_POINTS
+             for kind in points.valid_kinds(point)]
+
+
+def _run_sequence(backend, reuse, faults=None):
+    controls = MultiLevelControls()
+    if reuse:
+        controls.enable_vc("vc1")
+    session = Session(
+        backend=backend,
+        controls=controls,
+        selection_algorithm="bigsubs",
+        policy=SelectionPolicy(storage_budget_bytes=10_000_000,
+                               min_reuses_per_epoch=0.0),
+        faults=faults,
+    )
+    session.register_table(
+        schema_of("Events", [("UserId", "int"), ("Day", "str"),
+                             ("Value", "float")]),
+        [dict(UserId=i % 5, Day=f"d{i % 3}", Value=float(i))
+         for i in range(30)])
+    results = {}
+    now = 0.0
+    for round_no in range(2):
+        for template_id, sql in QUERIES:
+            # session.run raises on failure: an unabsorbed fault fails
+            # the property loudly, not via a silent row mismatch.
+            result = session.run(sql, virtual_cluster="vc1",
+                                 template_id=template_id, now=now)
+            results[f"r{round_no}:{template_id}"] = \
+                canonical_rows(result.rows)
+            now += 1.0
+        session.analyze_and_publish()
+    session.close()
+    return results
+
+
+_REFERENCE = {}
+
+
+def _reference(backend, reuse):
+    key = (backend, reuse)
+    if key not in _REFERENCE:
+        _REFERENCE[key] = _run_sequence(backend, reuse, faults=None)
+    return _REFERENCE[key]
+
+
+@given(spec=st.sampled_from(ALL_SPECS),
+       backend=st.sampled_from(["memory", "sqlite"]),
+       reuse=st.booleans(),
+       after=st.integers(min_value=0, max_value=4),
+       seed=st.integers(min_value=0, max_value=9))
+@SETTINGS
+def test_single_fault_never_changes_results(spec, backend, reuse,
+                                            after, seed):
+    point, kind = spec
+    plan = FaultPlan(specs=[FaultSpec(
+        point, kind,
+        delay_seconds=0.01 if kind == "delay" else 0.0,
+        max_fires=1, after=after)], seed=seed,
+        name=f"single-{point}-{kind}")
+    faulted = _run_sequence(backend, reuse, faults=FaultRuntime(plan))
+    assert faulted == _reference(backend, reuse)
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+@pytest.mark.parametrize("reuse", [True, False])
+def test_reference_runs_have_rows(backend, reuse):
+    reference = _reference(backend, reuse)
+    assert len(reference) == 2 * len(QUERIES)
+    assert all(rows for rows in reference.values())

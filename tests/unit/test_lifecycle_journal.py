@@ -167,3 +167,77 @@ class TestSnapshotAndRecovery:
             payload = json.load(handle)
         assert len(payload["views"]) == 2
         journal.close()
+
+
+class TestTornWrites:
+    """Injected torn/partial WAL writes and the recovery that skips them."""
+
+    def _journal_with_faults(self, tmp_path, plan_text):
+        from repro.faults import FaultPlan, FaultRuntime
+
+        journal = CatalogJournal(str(tmp_path))
+        journal.faults = FaultRuntime(FaultPlan.parse(plan_text))
+        return journal
+
+    def test_torn_fault_leaves_partial_line_then_heals(self, tmp_path):
+        journal = self._journal_with_faults(
+            tmp_path, "journal.append:torn:1.0:1")
+        with pytest.raises(StorageError, match="torn"):
+            journal.append("reused", signature="s2")
+        assert journal.stats()["torn_pending"]
+        # The next append self-heals: fresh line past the partial record.
+        journal.append("purged", signature="s1")
+        assert not journal.stats()["torn_pending"]
+        journal.close()
+
+        reopened = CatalogJournal(str(tmp_path))
+        assert [op["op"] for op in reopened.wal_ops()] == ["purged"]
+        assert reopened.last_scan_torn == 1
+
+    def test_storage_fault_lands_no_bytes(self, tmp_path):
+        journal = self._journal_with_faults(
+            tmp_path, "journal.append:storage:1.0:1")
+        with pytest.raises(StorageError, match="storage"):
+            journal.append("reused", signature="s1")
+        journal.append("reused", signature="s1")
+        journal.close()
+        assert len(CatalogJournal(str(tmp_path)).wal_ops()) == 1
+
+    def test_mid_file_torn_line_does_not_truncate_replay(self, tmp_path):
+        """Regression: wal_ops used to stop at the first bad line,
+        silently dropping every op a healed journal appended after it."""
+        journal = CatalogJournal(str(tmp_path))
+        journal.append("reused", signature="s1")
+        journal.close()
+        with open(journal.wal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "reused", "signa')   # torn, no newline
+            handle.write('\n{"op": "purged", "signature": "s1"}\n')
+        reopened = CatalogJournal(str(tmp_path))
+        ops = reopened.wal_ops()
+        assert [op["op"] for op in ops] == ["reused", "purged"]
+        assert reopened.last_scan_torn == 1
+
+    def test_recover_reports_torn_lines_and_keeps_tail(self, tmp_path):
+        store = build_store()
+        journal = CatalogJournal(str(tmp_path))
+        journal.snapshot(store, LineageRegistry())
+        store.record_reuse("s1")
+        journal.append("reused", signature="s1")
+        journal.close()
+        with open(journal.wal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "reused", "si')      # crash mid-append
+
+        fresh = ViewStore()
+        report = CatalogJournal(str(tmp_path)).recover(
+            fresh, LineageRegistry())
+        assert report.torn_lines == 1
+        assert report.skipped == []
+        assert fresh.catalog_digest() == store.catalog_digest()
+
+    def test_decodable_but_malformed_op_skipped_not_fatal(self, tmp_path):
+        journal = CatalogJournal(str(tmp_path))
+        journal.append("sealed", signature="s1")       # missing payload
+        journal.close()
+        report = CatalogJournal(str(tmp_path)).recover(
+            ViewStore(), LineageRegistry())
+        assert report.skipped == [["sealed", "s1"]]
