@@ -1,0 +1,146 @@
+"""Sharded insights-service throughput: serving capacity vs shard count.
+
+Runs the same wave-parallel cooking workload against the in-process
+service and against 1/2/4/8 shard worker processes, and emits
+``BENCH_sharded.json`` at the repo root for trend tracking.
+
+Two very different columns:
+
+* **serving jobs/sec** -- the capacity metric the deployment exists
+  for.  Every annotation fetch charges the owning shard simulated
+  round-trip time (cold 15ms / warm 1.5ms per tag, the same charges the
+  in-process service accounts); a shard's ``busy_seconds`` is the
+  serving work it performed, and the deployment's makespan is the
+  *maximum* over shards, since shards serve disjoint tag partitions in
+  parallel.  Near-linear scaling here means the signature-hash
+  partition is balanced; the acceptance bar is >= 4x at 8 shards vs
+  the single-process baseline.
+* **wall jobs/sec** -- informational.  The harness itself is one
+  GIL-bound driver process, so wall clock mostly measures the workload
+  simulator, not the deployment.
+
+The scaling claim is only meaningful because the *outcome* columns are
+pinned: every run must produce identical per-job build/reuse decisions
+and an identical catalog digest, for any worker/shard count.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.scheduler import ConcurrentSimulation, ConcurrentSimulationConfig
+from repro.workload.generator import generate_workload
+
+DAYS = 4
+WORKERS = 4
+SHARD_COUNTS = (0, 1, 2, 4, 8)
+#: Shard counts compared for the acceptance ratio (baseline, scaled).
+BASELINE_SHARDS = 1
+SCALED_SHARDS = 8
+MIN_SPEEDUP = 4.0
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_sharded.json"
+
+
+def make_workload():
+    return generate_workload(seed=7, virtual_clusters=3,
+                             templates_per_vc=16)
+
+
+def job_decision(result):
+    """The schedule-invariant slice of one job's outcome."""
+    return (result.job_id, result.ok, result.degraded, result.views_built,
+            result.views_reused)
+
+
+def run_one(shards: int):
+    config = ConcurrentSimulationConfig(days=DAYS, workers=WORKERS,
+                                        shards=shards)
+    started = time.perf_counter()
+    report = ConcurrentSimulation(make_workload(), config).run()
+    wall = time.perf_counter() - started
+    busy = report.shard_busy_seconds
+    makespan = max(busy) if busy else None
+    return {
+        "shards": shards,
+        "workers": WORKERS,
+        "jobs": report.jobs,
+        "failures": report.failures,
+        "views_created": report.views_created,
+        "views_reused": report.views_reused,
+        "catalog_digest": report.catalog_digest,
+        "decisions": [job_decision(r) for r in report.results],
+        "wall_seconds": round(wall, 3),
+        "wall_jobs_per_second": round(report.jobs / wall, 1),
+        "shard_busy_seconds": [round(b, 4) for b in busy],
+        "serving_makespan_seconds": (round(makespan, 4)
+                                     if makespan else None),
+        "serving_jobs_per_second": (round(report.jobs / makespan, 1)
+                                    if makespan else None),
+    }
+
+
+def run_sweep():
+    runs = [run_one(shards) for shards in SHARD_COUNTS]
+    by_shards = {run["shards"]: run for run in runs}
+    baseline = by_shards[BASELINE_SHARDS]
+    scaled = by_shards[SCALED_SHARDS]
+    speedup = (baseline["serving_makespan_seconds"]
+               / scaled["serving_makespan_seconds"])
+    report = {
+        "benchmark": "sharded_throughput",
+        "workload": "cooking seed=7 vcs=3 templates=48",
+        "days": DAYS,
+        "workers": WORKERS,
+        "min_speedup_required": MIN_SPEEDUP,
+        "serving_speedup_8_vs_1": round(speedup, 2),
+        "runs": runs,
+    }
+    # Outcome parity across every deployment shape -- without this the
+    # throughput columns compare different computations.
+    digests = {run["catalog_digest"] for run in runs}
+    decisions = {tuple(map(tuple, run["decisions"])) for run in runs}
+    assert len(digests) == 1, f"catalog digest diverged: {digests}"
+    assert len(decisions) == 1, "per-job build/reuse decisions diverged"
+    assert all(run["failures"] == 0 for run in runs)
+    assert speedup >= MIN_SPEEDUP, (
+        f"serving speedup {speedup:.2f}x at {SCALED_SHARDS} shards "
+        f"is below the {MIN_SPEEDUP}x acceptance bar")
+    # The JSON artifact stays compact: decisions are proven equal above
+    # and then dropped.
+    for run in runs:
+        del run["decisions"]
+    return report
+
+
+def print_report(report):
+    print("\nSharded insights-service throughput "
+          f"(days={report['days']}, workers={report['workers']})")
+    print(f"{'shards':>7}{'jobs':>6}{'serving jobs/s':>15}"
+          f"{'makespan s':>12}{'wall jobs/s':>12}  digest")
+    for run in report["runs"]:
+        serving = run["serving_jobs_per_second"]
+        makespan = run["serving_makespan_seconds"]
+        print(f"{run['shards'] or 'in-proc':>7}{run['jobs']:>6}"
+              f"{serving if serving else '-':>15}"
+              f"{makespan if makespan else '-':>12}"
+              f"{run['wall_jobs_per_second']:>12}  "
+              f"{run['catalog_digest'][:12]}")
+    print(f"serving speedup {SCALED_SHARDS} shards vs "
+          f"{BASELINE_SHARDS}: {report['serving_speedup_8_vs_1']}x "
+          f"(bar: {report['min_speedup_required']}x)")
+
+
+def test_sharded_throughput(benchmark):
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_report(report)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"sweep -> {OUTPUT}")
+
+
+if __name__ == "__main__":
+    report = run_sweep()
+    print_report(report)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"sweep -> {OUTPUT}")

@@ -45,7 +45,7 @@ from repro.engine import EngineConfig
 from repro.selection import SelectionPolicy, SelectionResult
 from repro.workload import CookingWorkload, WorkloadRepository, generate_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Old top-level entry points, still importable but deprecated: the
 #: attribute access warns and forwards to the canonical module.

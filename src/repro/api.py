@@ -23,6 +23,7 @@ re-exports carry deprecation shims pointing here.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -51,6 +52,9 @@ from repro.scheduler.scheduler import (
 from repro.selection.candidates import build_candidates
 from repro.selection.policies import SelectionPolicy, SelectionResult
 from repro.selection.registry import run_selection, validate_selection_algorithm
+from repro.shard.journal import ShardedCatalogJournal
+from repro.shard.router import ShardRouter
+from repro.shard.supervisor import ShardConfig, ShardSupervisor
 from repro.workload.repository import WorkloadRepository
 
 __all__ = [
@@ -60,6 +64,7 @@ __all__ = [
     "LifecycleConfig",
     "FaultInjector", "FaultPlan", "FaultRuntime",
     "SelectionPolicy", "MultiLevelControls",
+    "ShardConfig",
 ]
 
 
@@ -125,7 +130,32 @@ class Session:
             backend = create_backend(
                 backend, sqlite_path=self.config.sqlite_path)
         validate_selection_algorithm(selection_algorithm)
-        self.service = InsightsService()
+        # shards > 0 swaps the in-process service for the multi-process
+        # deployment: worker processes behind a router that presents the
+        # same service surface, so nothing downstream changes.
+        shard_config = self.config.resolve_shard()
+        self.supervisor: Optional[ShardSupervisor] = None
+        self._shard_journal: Optional[ShardedCatalogJournal] = None
+        if shard_config is not None:
+            if (shard_config.journal_dir is None and lifecycle is not None
+                    and lifecycle.journal_dir is not None):
+                # The lifecycle journal splits into per-shard WALs under
+                # its configured directory.
+                shard_config = dataclasses.replace(
+                    shard_config, journal_dir=lifecycle.journal_dir)
+            self.supervisor = ShardSupervisor(shard_config,
+                                              faults=self.faults)
+            try:
+                self.supervisor.start()
+            except BaseException:
+                self.supervisor.close()
+                raise
+            self.service = ShardRouter(self.supervisor, faults=self.faults)
+            if shard_config.journal_dir is not None:
+                self._shard_journal = ShardedCatalogJournal(
+                    self.service, directory=shard_config.journal_dir)
+        else:
+            self.service = InsightsService()
         self.insights = InsightsClient(
             self.service, config=client_config, injector=fault_injector)
         # One shared runtime behind every seam: a single seed then
@@ -155,7 +185,8 @@ class Session:
         self.lifecycle: Optional[LifecycleManager] = None
         if lifecycle is not None:
             self.lifecycle = LifecycleManager(self.engine, lifecycle,
-                                              faults=self.faults)
+                                              faults=self.faults,
+                                              journal=self._shard_journal)
 
     # ------------------------------------------------------------------ #
     # data management
@@ -281,11 +312,21 @@ class Session:
 
     def close(self) -> None:
         # Lifecycle first: its shutdown snapshot must see the final state
-        # before anything else tears down.
+        # before anything else tears down -- and, when sharded, it runs
+        # through the router, so the workers must still be up.  The
+        # supervisor therefore goes last.
         if self.lifecycle is not None:
             self.lifecycle.close()
         self.scheduler.close()
         self.backend.close()
+        self._close_shards()
+
+    def _close_shards(self) -> None:
+        if self.supervisor is None:
+            return
+        if isinstance(self.service, ShardRouter):
+            self.service.close()
+        self.supervisor.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -298,3 +339,4 @@ class Session:
                 self.lifecycle.close()
             self.scheduler.__exit__(exc_type, exc, tb)
             self.backend.close()
+            self._close_shards()

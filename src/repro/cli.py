@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "cluster co-simulation; the resulting view "
                                "catalog and reuse counts are identical "
                                "for every N")
+    simulate.add_argument("--shards", type=int, default=0, metavar="N",
+                          help="serve insights from N shard worker "
+                               "processes (implies --workers; default 0 "
+                               "keeps the in-process service); digest "
+                               "and reuse counts are identical for "
+                               "every N")
     simulate.add_argument("--obs-dir", default=None, metavar="DIR",
                           help="write the flight-recorder capture "
                                "(metrics.json, spans.jsonl, events.jsonl) "
@@ -187,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution backend under test, or 'all'")
     chaos.add_argument("--days", type=int, default=3,
                        help="cooking-workload days per run")
+    chaos.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="run each campaign seed against N insights "
+                            "shard processes; adds shard-seam faults "
+                            "(RPC drops/delays, real SIGKILLs) to the "
+                            "menu and checks merged per-shard WAL "
+                            "recovery (default 0: in-process service)")
     chaos.add_argument("--plan", action="store_true",
                        help="print each seed's fault plan and exit "
                             "without running anything")
@@ -251,6 +263,10 @@ def _workload(args):
 
 
 def _cmd_simulate(args) -> int:
+    if args.shards and args.workers is None:
+        # Sharding only exists on the concurrent path; give it the
+        # scheduler default rather than failing.
+        args.workers = 4
     if args.workers is not None:
         return _cmd_simulate_concurrent(args)
     reports = {}
@@ -313,9 +329,11 @@ def _cmd_simulate_concurrent(args) -> int:
         days=args.days, workers=args.workers,
         selection_algorithm=args.selection,
         view_ttl_seconds=args.view_ttl,
-        backend=args.backend)
+        backend=args.backend,
+        shards=args.shards)
+    sharding = (f", {args.shards} shards" if args.shards else "")
     print(f"simulating {args.days} days "
-          f"(cloudviews, {args.workers} workers) ...")
+          f"(cloudviews, {args.workers} workers{sharding}) ...")
     simulation = ConcurrentSimulation(_workload(args), config,
                                       recorder=recorder)
     report = simulation.run()
@@ -327,6 +345,10 @@ def _cmd_simulate_concurrent(args) -> int:
     print(f"{'Views Created':<42}{report.views_created:>12,}")
     print(f"{'Views Used':<42}{report.views_reused:>12,}")
     print(f"{'Throughput (jobs/s)':<42}{report.jobs_per_second:>12,.1f}")
+    if report.shard_stats:
+        busy = report.shard_busy_seconds
+        print(f"{'Shard Busy Seconds (makespan/total)':<42}"
+              f"{max(busy):>6.3f}/{sum(busy):.3f}")
     print(f"View Catalog Digest  {report.catalog_digest}")
 
     usage = simulation.engine.insights.metrics
@@ -542,7 +564,7 @@ def _cmd_chaos(args) -> int:
         return 2
     if args.plan:
         for seed in seeds:
-            plan = campaign_plan(seed)
+            plan = campaign_plan(seed, shards=args.shards)
             print(f"seed {seed}: " + "; ".join(
                 f"{s.point}:{s.kind}(p={s.probability},"
                 f"max={s.max_fires})" for s in plan.specs))
@@ -551,7 +573,8 @@ def _cmd_chaos(args) -> int:
                 else [args.backend])
     failed = False
     for backend in backends:
-        report = run_campaign(seeds, backend=backend, days=args.days)
+        report = run_campaign(seeds, backend=backend, days=args.days,
+                              shards=args.shards)
         print(report.summary())
         if not report.ok:
             failed = True

@@ -94,6 +94,14 @@ class InsightsTimeout(InsightsError):
     """
 
 
+class ShardError(ReproError):
+    """Raised by the sharded insights deployment (:mod:`repro.shard`):
+    protocol framing violations, supervisor spawn failures, and RPC
+    plumbing errors that are not the serving layer's own fault surface
+    (those map onto :class:`InsightsError` so the client's retry /
+    circuit-breaker ladder treats a dead shard like a dead service)."""
+
+
 class ConcurrencyError(ReproError):
     """Base class for violations caught by the runtime lock sanitizer."""
 

@@ -56,6 +56,19 @@ def combine_unordered(digests: Iterable[str]) -> str:
     return stable_hash(sorted(digests))
 
 
+def shard_for(key: str, shards: int) -> int:
+    """Deterministic shard assignment for a signature-derived key.
+
+    Re-hashes ``key`` (a tag or strict signature -- both are themselves
+    hashes of the recurring computation) so the placement is uniform and
+    stable across processes and runs; the same key always lands on the
+    same shard for a given shard count.
+    """
+    if shards <= 1:
+        return 0
+    return int(stable_hash("shard", key), 16) % shards
+
+
 def short_tag(digest: str, length: int = 8) -> str:
     """Return the short *tag* form of a signature.
 

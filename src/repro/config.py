@@ -26,6 +26,7 @@ from repro.insights.client import InsightsClientConfig
 from repro.lifecycle.manager import LifecycleConfig
 from repro.scheduler.scheduler import SchedulerConfig
 from repro.selection.policies import SelectionPolicy
+from repro.shard.supervisor import ShardConfig
 
 
 @dataclass
@@ -45,6 +46,20 @@ class SessionConfig:
     #: Fault-injection plan (:class:`~repro.faults.FaultPlan`, a plan
     #: string, or a pre-built runtime); ``None`` = injection disabled.
     faults: Optional[object] = None
+    #: Shard worker processes for the insights service; 0 (default)
+    #: keeps the classic in-process service.
+    shards: int = 0
+    #: Full deployment knobs (:class:`~repro.shard.ShardConfig`);
+    #: overrides :attr:`shards` when given.
+    shard: Optional[ShardConfig] = None
+
+    def resolve_shard(self) -> Optional[ShardConfig]:
+        """The effective shard deployment config, or ``None``."""
+        if self.shard is not None and self.shard.shards > 0:
+            return self.shard
+        if self.shards > 0:
+            return ShardConfig(shards=self.shards)
+        return None
 
     @classmethod
     def from_env(cls, environ: Optional[Dict[str, str]] = None
@@ -53,9 +68,9 @@ class SessionConfig:
 
         Recognized: ``REPRO_BACKEND``, ``REPRO_SQLITE_PATH``,
         ``REPRO_WORKERS``, ``REPRO_VIEW_TTL``, ``REPRO_SELECTION``,
-        ``REPRO_JOURNAL_DIR``, ``REPRO_STORAGE_BUDGET``,
-        ``REPRO_FAULTS`` (+ ``REPRO_FAULTS_SEED``).  Unset variables
-        keep their defaults.
+        ``REPRO_SHARDS``, ``REPRO_JOURNAL_DIR``,
+        ``REPRO_STORAGE_BUDGET``, ``REPRO_FAULTS``
+        (+ ``REPRO_FAULTS_SEED``).  Unset variables keep their defaults.
         """
         env = os.environ if environ is None else environ
         config = cls()
@@ -71,6 +86,8 @@ class SessionConfig:
             config.engine.view_ttl_seconds = float(env["REPRO_VIEW_TTL"])
         if env.get("REPRO_SELECTION"):
             config.selection_algorithm = env["REPRO_SELECTION"]
+        if env.get("REPRO_SHARDS"):
+            config.shards = int(env["REPRO_SHARDS"])
         journal_dir = env.get("REPRO_JOURNAL_DIR")
         budget = env.get("REPRO_STORAGE_BUDGET")
         if journal_dir or budget:

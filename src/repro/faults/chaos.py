@@ -70,18 +70,37 @@ AMBIENT_MENU = (
 )
 AMBIENT_PICKS = 3
 
+#: Faults specific to the sharded deployment (``--shards N``): RPC
+#: failures on the router's fetch fan-out and real worker-process
+#: SIGKILLs.  Only sampled when the campaign itself runs sharded; the
+#: router's retry + restart path and the client's degradation ladder
+#: must absorb all of them.
+SHARD_MENU = (
+    FaultSpec(points.SHARD_RPC, "drop", probability=0.25, max_fires=3),
+    FaultSpec(points.SHARD_RPC, "error", probability=0.25, max_fires=2),
+    FaultSpec(points.SHARD_RPC, "delay", probability=0.5,
+              delay_seconds=0.01, max_fires=6),
+    FaultSpec(points.SHARD_DEATH, "crash", probability=0.2, max_fires=1),
+)
+SHARD_PICKS = 2
 
-def campaign_plan(seed: int) -> FaultPlan:
+
+def campaign_plan(seed: int, shards: int = 0) -> FaultPlan:
     """The deterministic fault plan for one campaign seed.
 
     Draws :data:`EXEC_PICKS` execute-path faults and
     :data:`AMBIENT_PICKS` ambient faults from the menus with a seeded
     RNG; the same seed always yields the same plan (and the plan itself
-    carries ``seed`` for the runtime's probability draws).
+    carries ``seed`` for the runtime's probability draws).  A sharded
+    campaign (``shards > 0``) additionally draws :data:`SHARD_PICKS`
+    shard faults; the draws happen after the classic ones, so the
+    ``shards=0`` plan for any seed is unchanged.
     """
     rng = random.Random(f"repro-chaos-{seed}")
     specs = list(rng.sample(EXEC_MENU, EXEC_PICKS))
     specs += list(rng.sample(AMBIENT_MENU, AMBIENT_PICKS))
+    if shards > 0:
+        specs += list(rng.sample(SHARD_MENU, SHARD_PICKS))
     return FaultPlan(specs=tuple(specs), seed=seed,
                      name=f"campaign-{seed}")
 
@@ -108,24 +127,31 @@ class RunOutcome:
 
 
 def _run_workload(backend: str, *, days: int, faults=None,
-                  workload_seed: int = 11) -> RunOutcome:
+                  workload_seed: int = 11, shards: int = 0) -> RunOutcome:
     """One full pass of the cooking workload through a :class:`Session`.
 
     Jobs go through :meth:`Session.run_batch` (the scheduler path, so
     worker faults are exercised); each day ends with selection feedback
     and a GC sweep.  The journal lives in a temp dir that is recovered
     into a *fresh* store after close to produce ``recovered_digest``.
+
+    With ``shards > 0`` the session runs the multi-process insights
+    deployment; a *faulted* sharded pass additionally SIGKILLs and
+    restarts one live shard at every day boundary (shard ``day %
+    shards``, when the scheduler is drained and no view locks are held),
+    on top of whatever the fault plan injects.
     """
     # Imported here: repro.faults must stay importable without dragging
     # in the whole engine stack (api -> config -> faults.plan).
     from repro.api import Session
     from repro.backends.differential import canonical_rows
+    from repro.config import SessionConfig
     from repro.core.controls import MultiLevelControls
-    from repro.lifecycle.journal import CatalogJournal
     from repro.lifecycle.lineage import LineageRegistry
     from repro.lifecycle.manager import LifecycleConfig
     from repro.scheduler.scheduler import JobRequest, SchedulerConfig
     from repro.selection.policies import SelectionPolicy
+    from repro.shard.journal import merged_offline_recovery
     from repro.storage.views import ViewStore
     from repro.workload.generator import generate_workload
 
@@ -139,6 +165,7 @@ def _run_workload(backend: str, *, days: int, faults=None,
     journal_dir = tempfile.mkdtemp(prefix="repro-chaos-journal-")
     try:
         session = Session(
+            config=SessionConfig(shards=shards),
             backend=backend,
             controls=controls,
             selection_algorithm="bigsubs",
@@ -155,6 +182,15 @@ def _run_workload(backend: str, *, days: int, faults=None,
             if day > 0:
                 base.cook(session.engine, day)
                 session.evict_expired(now=now)
+                if shards > 0 and faults is not None:
+                    # Real mid-campaign process death: SIGKILL one shard
+                    # at the day boundary (scheduler drained, no view
+                    # locks held) and bring it back before the next
+                    # wave.  The restarted worker reloads its persisted
+                    # annotations, so serving state survives the kill.
+                    victim = day % shards
+                    session.supervisor.kill(victim)
+                    session.supervisor.restart(victim)
             jobs = base.jobs_for_day(day)
             requests = [
                 JobRequest(sql=job.template.sql, params=dict(job.params),
@@ -180,11 +216,12 @@ def _run_workload(backend: str, *, days: int, faults=None,
             outcome.fired = session.faults.stats()
         session.close()
         # Durability: a fresh store rebuilt from the journal must land on
-        # the exact digest the live catalog had before shutdown.
-        journal = CatalogJournal(journal_dir)
+        # the exact digest the live catalog had before shutdown.  The
+        # merged recovery reads per-shard WALs when present and falls
+        # back to the classic single-journal layout otherwise, so this
+        # one call covers both deployments.
         store = ViewStore()
-        journal.recover(store, LineageRegistry())
-        journal.close()
+        merged_offline_recovery(journal_dir, store, LineageRegistry())
         outcome.recovered_digest = store.catalog_digest()
     finally:
         shutil.rmtree(journal_dir, ignore_errors=True)
@@ -219,6 +256,8 @@ class CampaignReport:
     days: int
     reference_jobs: int = 0
     seeds: List[SeedReport] = field(default_factory=list)
+    #: Insights-service shard processes per run (0 = in-process).
+    shards: int = 0
 
     @property
     def ok(self) -> bool:
@@ -226,7 +265,8 @@ class CampaignReport:
 
     def summary(self) -> str:
         lines = [f"chaos campaign: backend={self.backend} days={self.days} "
-                 f"jobs/run={self.reference_jobs} seeds={len(self.seeds)}"]
+                 f"shards={self.shards} jobs/run={self.reference_jobs} "
+                 f"seeds={len(self.seeds)}"]
         for report in self.seeds:
             status = "ok" if report.ok else "FAIL"
             fires = report.fired.get("fired_total", 0)
@@ -263,12 +303,18 @@ def _check(reference: RunOutcome, faulted: RunOutcome,
 
 
 def run_campaign(seeds: Sequence[int], backend: str = "memory",
-                 days: int = 2) -> CampaignReport:
-    """Run the chaos campaign for ``seeds`` against one backend."""
+                 days: int = 2, shards: int = 0) -> CampaignReport:
+    """Run the chaos campaign for ``seeds`` against one backend.
+
+    ``shards > 0`` runs every pass -- reference and faulted -- against
+    the multi-process insights deployment, with the shard fault menu in
+    play and a real SIGKILL+restart at each faulted day boundary.
+    """
     from repro.faults.runtime import FaultRuntime
 
-    campaign = CampaignReport(backend=backend, days=days)
-    reference = _run_workload(backend, days=days, faults=None)
+    campaign = CampaignReport(backend=backend, days=days, shards=shards)
+    reference = _run_workload(backend, days=days, faults=None,
+                              shards=shards)
     campaign.reference_jobs = reference.jobs
     if reference.failures:
         # The fault-free pass must itself be clean, or the reference
@@ -277,9 +323,9 @@ def run_campaign(seeds: Sequence[int], backend: str = "memory",
         raise AssertionError(
             f"fault-free reference run failed jobs: {failed}")
     for seed in seeds:
-        plan = campaign_plan(seed)
+        plan = campaign_plan(seed, shards=shards)
         faulted = _run_workload(backend, days=days,
-                                faults=FaultRuntime(plan))
+                                faults=FaultRuntime(plan), shards=shards)
         report = SeedReport(
             seed=seed,
             plan="; ".join(f"{s.point}:{s.kind}" for s in plan.specs),

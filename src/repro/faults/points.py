@@ -69,6 +69,13 @@ SCHEDULER_WORKER = "scheduler.worker"
 INSIGHTS_RPC = "insights.rpc"
 #: One lifecycle GC sweep.
 GC_SWEEP = "gc.sweep"
+#: One shard RPC on the router's fetch fan-out (per contacted shard).
+SHARD_RPC = "shard.rpc"
+#: Spawning one shard worker process (supervisor start/restart).
+SHARD_SPAWN = "shard.spawn"
+#: Sudden shard-process death observed at the router (the process is
+#: really SIGKILLed; the supervisor's restart policy decides recovery).
+SHARD_DEATH = "shard.death"
 
 #: point -> (description, valid kinds).  The closed vocabulary.
 REGISTRY: Dict[str, Tuple[str, Tuple[str, ...]]] = {
@@ -94,6 +101,12 @@ REGISTRY: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         "insights serving-layer round trip", ("drop", "error", "delay")),
     GC_SWEEP: (
         "lifecycle GC sweep", ("storage",)),
+    SHARD_RPC: (
+        "shard RPC on the fetch fan-out", ("drop", "error", "delay")),
+    SHARD_SPAWN: (
+        "shard worker-process spawn", ("error",)),
+    SHARD_DEATH: (
+        "shard worker-process death (real SIGKILL)", ("crash",)),
 }
 
 ALL_POINTS = tuple(sorted(REGISTRY))

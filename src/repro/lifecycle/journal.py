@@ -136,19 +136,33 @@ class CatalogJournal:
         ``storage`` fault fails before any byte lands.  Either way the
         caller sees :class:`StorageError`; the op is not counted.
         """
+        self.append_record(op, payload)
+
+    def append_record(self, op: str, payload: Dict[str, object],
+                      torn: bool = False) -> None:
+        """:meth:`append` with the torn-write decision exposed.
+
+        The sharded deployment draws fault outcomes in the *parent*
+        process (one session RNG) and commands the worker-side journal --
+        which runs with faults disabled -- to tear the write via
+        ``torn=True``.  With ``torn=False`` this is exactly the classic
+        path, consulting this journal's own fault runtime.
+        """
         line = json.dumps({"op": op, **payload}, sort_keys=True)
         with self._mutex:
-            outcome = self.faults.check(fault_points.JOURNAL_APPEND)
-            if outcome.kind == "storage":
-                raise StorageError(
-                    f"injected storage fault writing op {op!r}")
+            if not torn:
+                outcome = self.faults.check(fault_points.JOURNAL_APPEND)
+                if outcome.kind == "storage":
+                    raise StorageError(
+                        f"injected storage fault writing op {op!r}")
+                torn = outcome.kind == "torn"
             if self._wal is None:
                 self._wal = open(self.wal_path, "a", encoding="utf-8")
             if self._torn_pending:
                 # Start on a fresh line past the torn partial record.
                 self._wal.write("\n")
                 self._torn_pending = False
-            if outcome.kind == "torn":
+            if torn:
                 self._wal.write(line[:max(1, len(line) // 2)])
                 self._wal.flush()
                 self._torn_pending = True

@@ -85,10 +85,14 @@ class LifecycleManager:
     """Drives the view lifecycle of one engine; see the module docstring."""
 
     def __init__(self, engine, config: Optional[LifecycleConfig] = None,
-                 faults=None):
+                 faults=None, journal=None):
         self.engine = engine
         self.config = config or LifecycleConfig()
         self.faults = faults if faults is not None else NULL_FAULTS
+        #: An externally-built journal (the sharded session injects a
+        #: :class:`~repro.shard.ShardedCatalogJournal`); when ``None``
+        #: the classic single-directory journal is built from the config.
+        self._injected_journal = journal
         self.store = engine.view_store
         self.insights = engine.insights
         self.catalog = engine.catalog
@@ -105,7 +109,11 @@ class LifecycleManager:
         self.blob_delete_failures = 0
         self.last_recovery: Optional[RecoveryReport] = None
         self.journal: Optional[CatalogJournal] = None
-        if self.config.journal_dir is not None:
+        if self._injected_journal is not None:
+            self.journal = self._injected_journal
+            self.journal.faults = self.faults
+            self._recover()
+        elif self.config.journal_dir is not None:
             self.journal = CatalogJournal(self.config.journal_dir)
             self.journal.faults = self.faults
             self._recover()

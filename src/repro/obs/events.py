@@ -71,6 +71,13 @@ JOURNAL_TORN_TAIL = "journal.torn_tail"
 JOURNAL_WRITE_FAILED = "journal.write_failed"
 GC_SWEEP_ABORTED = "gc.sweep_aborted"
 VIEW_DROP_FAILED = "view.drop_failed"
+# Sharded insights deployment (repro.shard): worker-process lifecycle as
+# seen by the supervisor, plus router-observed RPC failures.  Per-shard
+# latency/queue-depth land in the metrics registry, not here.
+SHARD_SPAWNED = "shard.spawned"
+SHARD_DIED = "shard.died"
+SHARD_RESTARTED = "shard.restarted"
+SHARD_RPC_FAILED = "shard.rpc_failed"
 
 ALL_KINDS = (
     VIEW_CREATED, VIEW_SEALED, VIEW_REUSED, VIEW_INVALIDATED, VIEW_EVICTED,
@@ -84,6 +91,7 @@ ALL_KINDS = (
     EXECUTE_RETRY, VIEW_QUARANTINED, WORKER_RETRIED,
     JOURNAL_TORN_TAIL, JOURNAL_WRITE_FAILED,
     GC_SWEEP_ABORTED, VIEW_DROP_FAILED,
+    SHARD_SPAWNED, SHARD_DIED, SHARD_RESTARTED, SHARD_RPC_FAILED,
 )
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.clock import SECONDS_PER_DAY
+from repro.common.errors import ConfigError
 from repro.core.controls import MultiLevelControls
 from repro.core.runner import record_job_into
 from repro.engine.engine import EngineConfig, JobRun, ScopeEngine
@@ -63,9 +64,15 @@ class ConcurrentSimulationConfig:
     view_ttl_seconds: Optional[float] = None
     #: Execution backend name (``repro simulate --backend``).
     backend: str = "memory"
+    #: Insights-service shard processes (``repro simulate --shards``);
+    #: 0 keeps the in-process service.  Reuse decisions and the catalog
+    #: digest are shard-count-invariant by construction.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         validate_selection_algorithm(self.selection_algorithm)
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
 
 
 @dataclass
@@ -80,6 +87,15 @@ class ConcurrentSimulationReport:
     catalog_digest: str
     wall_seconds: float
     selections: List[SelectionResult] = field(default_factory=list)
+    #: Per-shard worker stats (``None`` for the in-process service).
+    shard_stats: Optional[List[Dict[str, object]]] = None
+
+    @property
+    def shard_busy_seconds(self) -> List[float]:
+        """Simulated serving busy-time accumulated by each shard."""
+        if not self.shard_stats:
+            return []
+        return [float(s["busy_seconds"]) for s in self.shard_stats]
 
     @property
     def jobs(self) -> int:
@@ -100,6 +116,7 @@ class ConcurrentSimulationReport:
     def summary(self) -> Dict[str, object]:
         return {
             "workers": self.config.workers,
+            "shards": self.config.shards,
             "days": self.config.days,
             "jobs": self.jobs,
             "failures": self.failures,
@@ -124,6 +141,8 @@ class ConcurrentSimulation:
                  recorder=None):
         self.workload = workload
         self.config = config
+        self._supervisor = None
+        self._router = None
         if engine is None:
             # The default engine fetches through the fault-tolerant
             # client, so concurrent waves exercise batching + caching
@@ -132,9 +151,20 @@ class ConcurrentSimulation:
             if config.view_ttl_seconds is not None:
                 engine_config.view_ttl_seconds = config.view_ttl_seconds
             from repro.backends import create_backend
+            service = None
+            if config.shards > 0:
+                from repro.shard.router import ShardRouter
+                from repro.shard.supervisor import ShardConfig, \
+                    ShardSupervisor
+                self._supervisor = ShardSupervisor(
+                    ShardConfig(shards=config.shards))
+                self._supervisor.start()
+                self._router = ShardRouter(self._supervisor)
+                service = self._router
             engine = ScopeEngine(
                 insights=InsightsClient(
-                    config=client_config, injector=fault_injector),
+                    service, config=client_config,
+                    injector=fault_injector),
                 config=engine_config,
                 backend=create_backend(config.backend))
         self.engine = engine
@@ -167,12 +197,18 @@ class ConcurrentSimulation:
             reuse_gate=self._reuse_gate,
             recorder=self.recorder,
         )
-        with scheduler:
-            for day in range(self.config.days):
-                if day > 0:
-                    self._day_boundary(day, day * SECONDS_PER_DAY)
-                for wave_time, wave in self._waves_for_day(day):
-                    self._run_wave(scheduler, wave, wave_time, results)
+        shard_stats = None
+        try:
+            with scheduler:
+                for day in range(self.config.days):
+                    if day > 0:
+                        self._day_boundary(day, day * SECONDS_PER_DAY)
+                    for wave_time, wave in self._waves_for_day(day):
+                        self._run_wave(scheduler, wave, wave_time, results)
+            if self._router is not None:
+                shard_stats = self._router.shard_stats()
+        finally:
+            self._close_shards()
         return ConcurrentSimulationReport(
             config=self.config,
             results=results,
@@ -182,7 +218,16 @@ class ConcurrentSimulation:
             catalog_digest=self.engine.view_store.catalog_digest(),
             wall_seconds=time.perf_counter() - started,
             selections=self.selections,
+            shard_stats=shard_stats,
         )
+
+    def _close_shards(self) -> None:
+        if self._router is not None:
+            self._router.close()
+            self._router = None
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
 
     # ------------------------------------------------------------------ #
     # waves

@@ -1,0 +1,47 @@
+"""Sharded multi-process insights deployment.
+
+The paper's production service runs as a scaled-out deployment rather
+than one process; this package reproduces that shape.  N worker
+processes each host a real :class:`~repro.insights.service.InsightsService`
+partition (annotations and view locks routed by recurring-signature
+hash) behind ``AF_UNIX`` length-prefixed JSON-RPC sockets; a
+:class:`ShardSupervisor` owns their lifecycle and a :class:`ShardRouter`
+presents them to the engine and the fault-tolerant client as one
+service.  Per-shard lifecycle WALs merge on read
+(:class:`ShardedCatalogJournal`), so ``catalog_digest`` -- and every
+per-job reuse decision -- holds byte-for-byte across shard counts.
+
+Entirely opt-in: ``Session(config=SessionConfig(shards=8))`` or
+``repro simulate --shards 8``; ``shards=0`` keeps the classic
+in-process service on every existing path.
+"""
+
+from repro.shard.journal import (
+    ShardedCatalogJournal,
+    merged_offline_recovery,
+    shard_for_op,
+)
+from repro.shard.protocol import (
+    MAX_FRAME_BYTES,
+    recv_frame,
+    send_frame,
+)
+from repro.shard.router import ShardRouter, tags_by_shard
+from repro.shard.supervisor import ShardConfig, ShardSupervisor
+from repro.shard.worker import ShardWorker, WorkerSpec, worker_main
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardSupervisor",
+    "ShardWorker",
+    "ShardedCatalogJournal",
+    "WorkerSpec",
+    "merged_offline_recovery",
+    "recv_frame",
+    "send_frame",
+    "shard_for_op",
+    "tags_by_shard",
+    "worker_main",
+]

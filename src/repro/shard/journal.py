@@ -1,0 +1,241 @@
+"""Per-shard lifecycle WALs behind the single-journal interface.
+
+:class:`ShardedCatalogJournal` is the drop-in the
+:class:`~repro.lifecycle.manager.LifecycleManager` journals through when
+the session is sharded.  Every catalog mutation routes to the WAL of the
+shard that owns the view's strict signature (``epoch`` markers, which
+carry no signature, live on shard 0), so each worker process persists
+exactly its partition and no WAL is written from two processes.
+
+Because placement is deterministic (:func:`~repro.common.hashing.shard_for`)
+the global catalog state is a *merge-on-read*: recovery fans ``recover``
+out to every shard, unions the view records and lineage slices (disjoint
+by construction), sums the lifecycle counters across shards, and takes
+the max epoch -- after which ``catalog_digest`` over the rebuilt store
+equals the unsharded journal's, for any shard count.  The offline form
+(:func:`merged_offline_recovery`) does the same directly from the
+``shard-NN`` directories with no processes running; chaos campaigns use
+it to prove the on-disk state of a killed deployment still converges.
+
+Fault draws stay in the parent process: the adapter consults the one
+session fault runtime at ``journal.append`` / ``journal.snapshot`` and
+*commands* a torn write over the wire (``torn=True``), while the worker
+journals themselves run with faults disabled.  One RNG, one firing log
+-- identical to the unsharded session's.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.common.errors import StorageError
+from repro.common.hashing import shard_for
+from repro.faults import points as fault_points
+from repro.faults.runtime import NULL_FAULTS
+from repro.lifecycle.journal import (
+    CatalogJournal,
+    RecoveryReport,
+    record_to_view,
+    view_to_record,
+)
+from repro.lifecycle.lineage import LineageRegistry
+from repro.shard.router import ShardRouter
+from repro.storage.views import ViewStore
+
+
+def shard_for_op(op: str, payload: Dict[str, object], shards: int) -> int:
+    """Which shard's WAL owns one journal op.
+
+    Mutations carry the view's strict signature (directly, or inside the
+    ``created`` record); global markers like ``epoch`` pin to shard 0.
+    """
+    if "signature" in payload:
+        return shard_for(str(payload["signature"]), shards)
+    view = payload.get("view")
+    if isinstance(view, dict) and "signature" in view:
+        return shard_for(str(view["signature"]), shards)
+    return 0
+
+
+class ShardedCatalogJournal:
+    """``CatalogJournal`` duck type that fans out to per-shard WALs."""
+
+    def __init__(self, router: ShardRouter,
+                 directory: Optional[str] = None) -> None:
+        self.router = router
+        self.shards = router.shards
+        #: The parent journal directory (``shard-NN`` subdirectories
+        #: underneath); informational, for :meth:`stats`.
+        self.directory = directory
+        #: Installed by the lifecycle manager, like the classic journal.
+        self.faults = NULL_FAULTS
+        self.ops_written = 0
+        self.ops_since_snapshot = 0
+        self.snapshots_written = 0
+
+    # ------------------------------------------------------------------ #
+    # the write-ahead log
+
+    def append(self, op: str, **payload: object) -> None:
+        """Route one mutation to its owning shard's WAL.
+
+        The fault decision (torn/storage) is drawn *here*, from the
+        session runtime; a storage fault fails before any RPC, a torn
+        fault ships ``torn=True`` so the worker persists the classic
+        half-line and raises -- the :class:`StorageError` crosses back
+        by name and the op goes uncounted, exactly like the in-process
+        journal's contract.
+        """
+        outcome = self.faults.check(fault_points.JOURNAL_APPEND)
+        if outcome.kind == "storage":
+            raise StorageError(f"injected storage fault writing op {op!r}")
+        self.router.call(
+            shard_for_op(op, payload, self.shards), "journal_append",
+            op=op, payload=payload, torn=outcome.kind == "torn")
+        self.ops_written += 1
+        self.ops_since_snapshot += 1
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+
+    def snapshot(self, store: ViewStore, lineage: LineageRegistry,
+                 epoch: int = 0, runtime_version: str = "") -> str:
+        """Partition the live state and snapshot every shard's slice.
+
+        Each shard receives the view records and lineage entries it owns
+        plus -- shard 0 only -- the aggregate lifecycle counters, so the
+        merged recovery sums counters to exactly the live values.
+        Sending the *live* slice (not the shard's own recovered state)
+        is what heals WAL ops lost to injected torn writes, matching the
+        single-journal manager snapshotting the live store.
+        """
+        self.faults.fire(fault_points.JOURNAL_SNAPSHOT)
+        views: List[List[Dict[str, object]]] = [
+            [] for _ in range(self.shards)]
+        for view in sorted(store.views(), key=lambda v: v.signature):
+            views[shard_for(view.signature, self.shards)].append(
+                view_to_record(view))
+        lineage_slices: List[Dict[str, object]] = [
+            {} for _ in range(self.shards)]
+        for signature, inputs in lineage.snapshot().items():
+            lineage_slices[shard_for(signature, self.shards)][
+                signature] = inputs
+        path = ""
+        for shard_id in range(self.shards):
+            reply = self.router.call(
+                shard_id, "journal_snapshot",
+                views=views[shard_id],
+                lineage=lineage_slices[shard_id],
+                counters=store.counters() if shard_id == 0 else {},
+                epoch=epoch, runtime_version=runtime_version)
+            if shard_id == 0:
+                path = str(reply["path"])
+        self.ops_since_snapshot = 0
+        self.snapshots_written += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # recovery
+
+    def recover(self, store: ViewStore,
+                lineage: LineageRegistry) -> RecoveryReport:
+        """Merge-on-read: union every shard's recovered partition."""
+        if store.views():
+            raise StorageError("journal recovery requires an empty store")
+        report = RecoveryReport()
+        counters: Dict[str, int] = {}
+        for reply in self.router.broadcast("journal_recover"):
+            for record in reply["views"]:
+                store.restore(record_to_view(record))
+                report.views_restored += 1
+            for name, value in reply["counters"].items():
+                counters[name] = counters.get(name, 0) + int(value)
+            lineage.restore(dict(reply["lineage"]))
+            report.epoch = max(report.epoch, int(reply["epoch"]))
+            if reply["runtime_version"]:
+                report.runtime_version = str(reply["runtime_version"])
+            report.snapshot_views += int(reply["snapshot_views"])
+            report.wal_ops += int(reply["wal_ops"])
+            report.torn_lines += int(reply["torn_lines"])
+            report.skipped.extend(
+                [str(a), str(b)] for a, b in reply["skipped"])
+        store.restore_counters(counters)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def stats(self) -> Dict[str, object]:
+        merged: Dict[str, object] = {
+            "directory": self.directory or "",
+            "shards": self.shards,
+            "ops_written": self.ops_written,
+            "ops_since_snapshot": self.ops_since_snapshot,
+            "snapshots_written": self.snapshots_written,
+            "wal_bytes": 0,
+            "has_snapshot": False,
+            "torn_pending": False,
+        }
+        for reply in self.router.broadcast("journal_stats"):
+            stats = reply["stats"]
+            if not stats:
+                continue
+            merged["wal_bytes"] += int(stats["wal_bytes"])
+            merged["has_snapshot"] = (merged["has_snapshot"]
+                                      or bool(stats["has_snapshot"]))
+            merged["torn_pending"] = (merged["torn_pending"]
+                                      or bool(stats["torn_pending"]))
+        return merged
+
+    def close(self) -> None:
+        """Worker journals close with their processes; nothing to do."""
+
+
+def merged_offline_recovery(journal_dir: str, store: ViewStore,
+                            lineage: LineageRegistry) -> RecoveryReport:
+    """Rebuild the global catalog from ``shard-NN`` WALs on disk.
+
+    The offline twin of :meth:`ShardedCatalogJournal.recover` -- no
+    worker processes involved.  A directory with no ``shard-`` children
+    is treated as a classic single journal, so callers can point this at
+    either layout.
+    """
+    if store.views():
+        raise StorageError("journal recovery requires an empty store")
+    shard_dirs = sorted(
+        os.path.join(journal_dir, name)
+        for name in os.listdir(journal_dir)
+        if name.startswith("shard-")
+        and os.path.isdir(os.path.join(journal_dir, name)))
+    if not shard_dirs:
+        journal = CatalogJournal(journal_dir)
+        try:
+            return journal.recover(store, lineage)
+        finally:
+            journal.close()
+    report = RecoveryReport()
+    counters: Dict[str, int] = {}
+    for shard_dir in shard_dirs:
+        partition = ViewStore()
+        partition_lineage = LineageRegistry()
+        journal = CatalogJournal(shard_dir)
+        try:
+            part = journal.recover(partition, partition_lineage)
+        finally:
+            journal.close()
+        for view in sorted(partition.views(), key=lambda v: v.signature):
+            store.restore(record_to_view(view.catalog_record()))
+            report.views_restored += 1
+        for name, value in partition.counters().items():
+            counters[name] = counters.get(name, 0) + int(value)
+        lineage.restore(partition_lineage.snapshot())
+        report.epoch = max(report.epoch, part.epoch)
+        if part.runtime_version:
+            report.runtime_version = part.runtime_version
+        report.snapshot_views += part.snapshot_views
+        report.wal_ops += part.wal_ops
+        report.torn_lines += part.torn_lines
+        report.skipped.extend(part.skipped)
+    store.restore_counters(counters)
+    return report

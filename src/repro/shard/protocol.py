@@ -1,0 +1,119 @@
+"""Length-prefixed JSON-RPC framing for the shard socket boundary.
+
+The router and the shard workers speak a deliberately small wire
+protocol over ``AF_UNIX`` stream sockets: every message is a 4-byte
+big-endian length header followed by that many bytes of UTF-8 JSON.
+Requests carry ``{"id", "method", "params"}``; replies carry either
+``{"id", "result"}`` or ``{"id", "error": {"type", "message"}}``.
+Errors cross the process boundary by *name*: the worker serializes the
+exception's class name and the router re-raises the mapped type from
+the repo's taxonomy (:mod:`repro.common.errors`), so a
+:class:`~repro.common.errors.StorageError` raised inside a shard's WAL
+append surfaces as a ``StorageError`` at the caller, exactly like the
+in-process journal.
+
+Framing is strict: an oversized header, truncated body, or undecodable
+payload raises :class:`~repro.common.errors.ShardError`; a clean EOF at
+a frame boundary returns ``None`` (the peer hung up, which the router
+treats as a dead shard).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+from repro.common.errors import (
+    ConfigError,
+    InsightsError,
+    InsightsTimeout,
+    ReproError,
+    ShardError,
+    StorageError,
+)
+
+#: 4-byte big-endian unsigned length header.
+HEADER = struct.Struct(">I")
+#: Upper bound on one frame's body; a header above this is corruption,
+#: not a legitimately huge message (annotation partitions and snapshot
+#: slices stay far below it).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Exception class names a worker may send back, mapped to the types the
+#: router re-raises.  Anything unlisted degrades to :class:`ShardError`
+#: (the transport's own fault surface).
+ERROR_TYPES = {
+    "StorageError": StorageError,
+    "InsightsError": InsightsError,
+    "InsightsTimeout": InsightsTimeout,
+    "ConfigError": ConfigError,
+    "ShardError": ShardError,
+    "ReproError": ReproError,
+}
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, object]) -> None:
+    """Serialize ``payload`` and write one length-prefixed frame."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ShardError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    sock.sendall(HEADER.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ShardError(
+            f"frame header announces {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); stream is corrupt")
+    body = _recv_exact(sock, length, eof_ok=False)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ShardError(f"undecodable frame body: {error}") from None
+    if not isinstance(payload, dict):
+        raise ShardError(
+            f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                eof_ok: bool) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, absorbing partial reads.
+
+    EOF before the first byte returns ``None`` when ``eof_ok`` (a peer
+    closing between frames is normal shutdown); EOF mid-message is
+    always a :class:`ShardError` (the peer died holding half a frame).
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ShardError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def error_payload(error: BaseException) -> Dict[str, object]:
+    """The wire form of an exception raised inside a worker."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def raise_remote(error: Dict[str, object]) -> None:
+    """Re-raise a worker-side exception from its wire form."""
+    kind = ERROR_TYPES.get(str(error.get("type", "")), ShardError)
+    raise kind(str(error.get("message", "remote shard error")))

@@ -1,0 +1,471 @@
+"""The shard router: one insights-service surface over N worker processes.
+
+:class:`ShardRouter` implements the full
+:class:`~repro.insights.service.InsightsService` duck surface the engine
+and the fault-tolerant :class:`~repro.insights.client.InsightsClient`
+rely on -- fetches, publication, generation, the kill switch, usage
+metrics, and the view-lock table -- by routing every signature-keyed
+operation to the one shard that owns it (``shard_for`` over the tag for
+annotations, over the strict signature for locks and journal ops) and
+broadcasting the few global operations (publish, retract, cache
+invalidation).
+
+Two properties keep reuse decisions *identical* across shard counts,
+which the equivalence suite asserts byte-for-byte:
+
+* **Deterministic placement and order.**  Annotations are partitioned by
+  tag hash in publish order, every tag's annotation list lives wholly on
+  one shard, and each worker's internal service preserves insertion
+  order -- so the per-tag lists any fetch observes equal the unsharded
+  service's.
+
+* **Serial latency accounting.**  The simulated cost charged to a fetch
+  is the *sum* of the contacted shards' per-tag charges -- exactly the
+  unsharded service's figure -- so client timeout and cache behavior
+  cannot depend on the shard count.  The capacity win of sharding shows
+  up where it belongs operationally: each worker accumulates only its
+  own partition's busy seconds, and the throughput benchmark's makespan
+  (max per-shard busy time) is what scales with N.
+
+Failure posture: a dead shard is indistinguishable from a dead service
+for the signatures it owns.  The router retries once through the
+supervisor's restart policy; if the shard stays dead the RPC surfaces
+:class:`~repro.common.errors.InsightsError`, which the client's
+retry/circuit-breaker ladder converts into degraded (reuse-free)
+compilation without failing jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import (
+    InsightsError,
+    InsightsTimeout,
+    ShardError,
+)
+from repro.common.hashing import shard_for
+from repro.common.sync import RANK_LEAF, TrackedLock
+from repro.faults import points as fault_points
+from repro.faults.runtime import NULL_FAULTS
+from repro.insights.service import UsageMetrics
+from repro.obs import events as obs_events
+from repro.obs.recorder import NULL_RECORDER
+from repro.optimizer.context import Annotation
+from repro.shard.protocol import (
+    raise_remote,
+    recv_frame,
+    send_frame,
+)
+from repro.shard.supervisor import ShardSupervisor
+from repro.shard.worker import annotation_from_wire, annotation_to_wire
+
+
+class ShardRouter:
+    """Drop-in ``InsightsService`` replacement backed by shard processes."""
+
+    def __init__(self, supervisor: ShardSupervisor,
+                 recorder=NULL_RECORDER, faults=None) -> None:
+        self.supervisor = supervisor
+        self.shards = supervisor.config.shards
+        self.faults = faults if faults is not None else NULL_FAULTS
+        self._enabled = True
+        #: Authoritative publication generation (workers keep none).
+        self.generation = 0
+        self.metrics = UsageMetrics()
+        self._fetch_state = threading.local()
+        self._recorder = recorder
+        # Connection pool: per-shard free lists plus in-flight gauges.
+        # Leaf rank (list ops only): the journal adapter calls through
+        # here while the view store's mutex is held.
+        self._pool_mutex = TrackedLock("shard.router.pool", RANK_LEAF + 20,
+                                       recorder)
+        self._pool: Dict[int, List[socket.socket]] = {
+            i: [] for i in range(self.shards)}
+        self._inflight = [0] * self.shards
+        # Guards the generation counter and kill switch (never nested
+        # inside anything lower-ranked than the pool guard).
+        self._state_mutex = TrackedLock("shard.router.state",
+                                        RANK_LEAF + 22, recorder)
+        self._request_ids = itertools.count(1)
+        #: Per-shard RPC totals (successful round trips).
+        self.rpcs = [0] * self.shards
+        self.rpc_failures = [0] * self.shards
+
+    # ------------------------------------------------------------------ #
+    # recorder plumbing (FlightRecorder.install sets ``.recorder``)
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        self._pool_mutex.recorder = value
+        self._state_mutex.recorder = value
+        self.supervisor.recorder = value
+
+    # ------------------------------------------------------------------ #
+    # kill switch and per-thread fetch bookkeeping
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._enabled:
+            self._recorder.event(obs_events.KILL_SWITCH_FLIPPED,
+                                 level="insights-service", enabled=value)
+        self._enabled = value
+
+    @property
+    def last_fetch_latency(self) -> float:
+        return getattr(self._fetch_state, "latency", 0.0)
+
+    @last_fetch_latency.setter
+    def last_fetch_latency(self, value: float) -> None:
+        self._fetch_state.latency = value
+
+    @property
+    def last_fetch_degraded(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------------ #
+    # the RPC plumbing
+
+    def shard_of_tag(self, tag: str) -> int:
+        return shard_for(tag, self.shards)
+
+    def shard_of_signature(self, signature: str) -> int:
+        return shard_for(signature, self.shards)
+
+    def _checkout(self, shard_id: int) -> socket.socket:
+        with self._pool_mutex:
+            self._inflight[shard_id] += 1
+            pooled = self._pool[shard_id]
+            if pooled:
+                return pooled.pop()
+        return self.supervisor.connect(shard_id)
+
+    def _checkin(self, shard_id: int, sock: Optional[socket.socket],
+                 broken: bool = False) -> None:
+        with self._pool_mutex:
+            self._inflight[shard_id] -= 1
+            if sock is not None and not broken:
+                self._pool[shard_id].append(sock)
+                return
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _drop_pool(self, shard_id: int) -> None:
+        """Close pooled connections to a shard that died or restarted."""
+        with self._pool_mutex:
+            stale, self._pool[shard_id] = self._pool[shard_id], []
+        for sock in stale:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def call(self, shard_id: int, method: str,
+             **params: object) -> Dict[str, object]:
+        """One shard RPC with a single reconnect-or-restart retry."""
+        request = {"id": next(self._request_ids), "method": method,
+                   "params": params}
+        last_error: Optional[BaseException] = None
+        for attempt in (0, 1):
+            started = time.perf_counter()
+            sock: Optional[socket.socket] = None
+            try:
+                sock = self._checkout(shard_id)
+            except OSError as error:
+                self._checkin(shard_id, None)
+                last_error = error
+            else:
+                try:
+                    send_frame(sock, request)
+                    reply = recv_frame(sock)
+                except (OSError, ShardError) as error:
+                    self._checkin(shard_id, sock, broken=True)
+                    last_error = error
+                else:
+                    if reply is None:
+                        self._checkin(shard_id, sock, broken=True)
+                        last_error = ShardError(
+                            f"shard {shard_id} closed the connection")
+                    else:
+                        self._checkin(shard_id, sock)
+                        self.rpcs[shard_id] += 1
+                        self._recorder.observe(
+                            f"shard.{shard_id:02d}.rpc_wall_seconds",
+                            time.perf_counter() - started)
+                        self._recorder.observe(
+                            f"shard.{shard_id:02d}.queue_depth",
+                            self._inflight[shard_id])
+                        error = reply.get("error")
+                        if error is not None:
+                            raise_remote(error)
+                        return reply.get("result", {})
+            if attempt == 0:
+                self._heal(shard_id)
+        self.rpc_failures[shard_id] += 1
+        self._recorder.inc("shard.rpc_failures")
+        self._recorder.event(
+            obs_events.SHARD_RPC_FAILED, shard=shard_id, method=method,
+            error=str(last_error) or type(last_error).__name__)
+        raise InsightsError(
+            f"shard {shard_id} unreachable for {method!r}: {last_error}")
+
+    def _heal(self, shard_id: int) -> None:
+        """Between attempts: flush stale sockets, restart a dead shard."""
+        self._drop_pool(shard_id)
+        if self.supervisor.is_alive(shard_id):
+            return
+        try:
+            self.supervisor.restart(shard_id)
+        except ShardError:
+            # Restart itself failed; the retry will fail and surface as
+            # an InsightsError for the client ladder to absorb.
+            pass
+
+    def broadcast(self, method: str, **params: object
+                  ) -> List[Dict[str, object]]:
+        """Run one RPC on every shard, in shard order."""
+        return [self.call(shard_id, method, **params)
+                for shard_id in range(self.shards)]
+
+    # ------------------------------------------------------------------ #
+    # publication
+
+    def publish(self, annotations: Iterable[Annotation]) -> int:
+        """Partition by tag hash, in publish order, and install everywhere.
+
+        Every shard gets a ``publish`` (possibly of an empty slice):
+        publication replaces the previous generation wholesale, so a
+        shard whose slice shrank to nothing must still drop it.
+        """
+        slices: List[List[Dict[str, object]]] = [
+            [] for _ in range(self.shards)]
+        total = 0
+        for annotation in annotations:
+            slices[self.shard_of_tag(annotation.tag)].append(
+                annotation_to_wire(annotation))
+            total += 1
+        for shard_id in range(self.shards):
+            self.call(shard_id, "publish", annotations=slices[shard_id])
+        with self._state_mutex:
+            self.generation += 1
+        return total
+
+    def annotation_count(self) -> int:
+        return sum(reply["count"]
+                   for reply in self.broadcast("annotation_count"))
+
+    def bump_generation(self) -> int:
+        """Invalidate every generation-keyed cache, serving caches too."""
+        self.broadcast("bump_generation")
+        with self._state_mutex:
+            self.generation += 1
+            return self.generation
+
+    def retract(self, recurring_signatures: Iterable[str]) -> int:
+        wanted = sorted(set(recurring_signatures))
+        if not wanted:
+            return 0
+        removed_by_shard = [
+            reply["removed"]
+            for reply in self.broadcast("retract", recurring=wanted)]
+        removed = sum(removed_by_shard)
+        if removed:
+            # Match the unsharded service exactly: one retraction that
+            # removed anything clears the *whole* serving cache and bumps
+            # the generation once.  Shards that removed locally already
+            # cleared themselves; nudge the rest.
+            for shard_id, shard_removed in enumerate(removed_by_shard):
+                if not shard_removed:
+                    self.call(shard_id, "bump_generation")
+            with self._state_mutex:
+                self.generation += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # query-time serving
+
+    def fetch_annotations(self, tags: Iterable[str],
+                          now: Optional[float] = None
+                          ) -> Dict[str, Annotation]:
+        """Job-level fetch, keyed by recurring signature (service parity)."""
+        self.metrics.inc("fetches")
+        self._recorder.inc("insights.fetches")
+        if not self.enabled:
+            self.last_fetch_latency = 0.0
+            return {}
+        tags = list(tags)
+        per_tag = self.fetch_tag_annotations(tags)
+        result: Dict[str, Annotation] = {}
+        for tag in tags:
+            for annotation in per_tag.get(tag, ()):
+                result[annotation.recurring_signature] = annotation
+        self.metrics.inc("annotations_served", len(result))
+        self._recorder.inc("insights.annotations_served", len(result))
+        return result
+
+    def fetch_tag_annotations(self, tags: Iterable[str]
+                              ) -> Dict[str, List[Annotation]]:
+        """The batch surface the client round-trips through.
+
+        Groups the tags by owning shard, runs one ``fetch_tags`` RPC per
+        contacted shard, and charges the *sum* of the shards' simulated
+        latencies (see the module docstring for why the sum, not the
+        max).  Shard-seam faults (``shard.rpc``, ``shard.death``) fire
+        here, per contacted shard, and propagate as the insights-error
+        taxonomy the client already handles.
+        """
+        if not self.enabled:
+            self.last_fetch_latency = 0.0
+            return {}
+        tags = list(tags)
+        by_shard: Dict[int, List[str]] = {}
+        for tag in tags:
+            by_shard.setdefault(self.shard_of_tag(tag), []).append(tag)
+        delay = 0.0
+        charges: Dict[str, float] = {}
+        result: Dict[str, List[Annotation]] = {}
+        for shard_id in sorted(by_shard):
+            delay += self._check_shard_faults(shard_id)
+            reply = self.call(shard_id, "fetch_tags",
+                              tags=by_shard[shard_id])
+            charges.update(reply["charges"])
+            self.metrics.inc("cache_hits", reply["cache_hits"])
+            self.metrics.inc("cache_misses", reply["cache_misses"])
+            self._recorder.inc("insights.cache_hits", reply["cache_hits"])
+            self._recorder.inc("insights.cache_misses",
+                               reply["cache_misses"])
+            for tag, annotations in reply["tags"].items():
+                result[tag] = [annotation_from_wire(a) for a in annotations]
+        # Accumulate per-tag charges in the caller's tag order -- the
+        # same float additions, in the same order, as the unsharded
+        # service -- so the client's timeout comparison sees a
+        # bit-identical cost for any shard count.
+        latency = 0.0
+        for tag in tags:
+            latency += charges.get(tag, 0.0)
+        latency += delay
+        self.last_fetch_latency = latency
+        self._recorder.observe("insights.fetch.latency", latency)
+        return result
+
+    def _check_shard_faults(self, shard_id: int) -> float:
+        """Fire the shard seams for one fetch RPC; returns injected delay."""
+        if not self.faults.enabled:
+            return 0.0
+        death = self.faults.check(fault_points.SHARD_DEATH)
+        if death.kind == "crash":
+            # Really kill the process: the RPC below then exercises the
+            # genuine dead-shard path (reconnect, restart, or surface an
+            # InsightsError for the client ladder).
+            self.supervisor.kill(shard_id)
+            self._drop_pool(shard_id)
+        outcome = self.faults.check(fault_points.SHARD_RPC)
+        if outcome.kind == "drop":
+            raise InsightsTimeout(
+                f"injected shard.rpc drop on shard {shard_id}")
+        if outcome.kind == "error":
+            raise InsightsError(
+                f"injected shard.rpc error on shard {shard_id}")
+        return outcome.delay
+
+    # ------------------------------------------------------------------ #
+    # view locks (routed by strict signature; strongly consistent)
+
+    def acquire_view_lock(self, strict_signature: str, holder: str) -> bool:
+        if not self.enabled:
+            return False
+        shard_id = self.shard_of_signature(strict_signature)
+        reply = self.call(shard_id, "lock_acquire",
+                          signature=strict_signature, holder=holder)
+        if not reply["acquired"]:
+            self.metrics.inc("locks_denied")
+            self._recorder.event(obs_events.LOCK_DENIED, job_id=holder,
+                                 signature=strict_signature[:12],
+                                 held_by=reply.get("holder"))
+            return False
+        self.metrics.inc("locks_acquired")
+        self._recorder.event(obs_events.LOCK_ACQUIRED, job_id=holder,
+                             signature=strict_signature[:12])
+        return True
+
+    def release_view_lock(self, strict_signature: str, holder: str) -> None:
+        self.call(self.shard_of_signature(strict_signature),
+                  "lock_release", signature=strict_signature, holder=holder)
+        self.metrics.inc("locks_released")
+        self._recorder.event(obs_events.LOCK_RELEASED, job_id=holder,
+                             signature=strict_signature[:12])
+
+    def force_release_lock(self, strict_signature: str) -> bool:
+        reply = self.call(self.shard_of_signature(strict_signature),
+                          "lock_force_release",
+                          signature=strict_signature)
+        if not reply["released"]:
+            return False
+        self.metrics.inc("locks_released")
+        self._recorder.event(obs_events.LOCK_RELEASED,
+                             job_id=str(reply.get("holder")),
+                             signature=strict_signature[:12], forced=True)
+        return True
+
+    def lock_holder(self, strict_signature: str) -> Optional[str]:
+        return self.call(self.shard_of_signature(strict_signature),
+                         "lock_holder",
+                         signature=strict_signature)["holder"]
+
+    def held_locks(self) -> Dict[str, str]:
+        merged: Dict[str, str] = {}
+        for reply in self.broadcast("held_locks"):
+            merged.update(reply["locks"])
+        return merged
+
+    def report_view_available(self, strict_signature: str,
+                              holder: str) -> None:
+        self.call(self.shard_of_signature(strict_signature),
+                  "report_available", signature=strict_signature,
+                  holder=holder)
+        self.metrics.inc("locks_released")
+        self.metrics.inc("views_reported_available")
+        self._recorder.event(obs_events.LOCK_RELEASED, job_id=holder,
+                             signature=strict_signature[:12])
+
+    # ------------------------------------------------------------------ #
+    # operational surface
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard worker stats plus the router's own RPC tallies."""
+        stats = []
+        for shard_id, reply in enumerate(self.broadcast("stats")):
+            reply["router_rpcs"] = self.rpcs[shard_id]
+            reply["router_rpc_failures"] = self.rpc_failures[shard_id]
+            stats.append(reply)
+        return stats
+
+    def close(self) -> None:
+        """Drain the connection pool (the supervisor owns the workers)."""
+        for shard_id in range(self.shards):
+            self._drop_pool(shard_id)
+
+
+def tags_by_shard(tags: Iterable[str], shards: int) -> Dict[int, List[str]]:
+    """Partition helper used by the benchmark's balance report."""
+    out: Dict[int, List[str]] = {}
+    for tag in tags:
+        out.setdefault(shard_for(tag, shards), []).append(tag)
+    return out

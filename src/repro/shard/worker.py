@@ -1,0 +1,387 @@
+"""One shard worker process: an insights partition behind a socket.
+
+Each worker owns ``1/N`` of the annotation space (partitioned by tag --
+the tag is itself a hash of the recurring signature, so this *is* the
+paper's signature-hash partitioning), the view-lock entries whose strict
+signatures hash to it, and, when journaling is on, its own
+:class:`~repro.lifecycle.journal.CatalogJournal` WAL under
+``<journal_dir>/shard-NN``.  Internally the partition is served by a
+plain :class:`~repro.insights.service.InsightsService` instance -- the
+same code path as the unsharded deployment, which is what makes the
+per-tag serving-cache accounting (and therefore the simulated latency
+charged back to clients) byte-identical across shard counts.
+
+The worker is deliberately dumb about global state: generation counting,
+the kill switch, and client-facing usage metrics all live in the
+:class:`~repro.shard.router.ShardRouter`; the worker only reports the
+per-request cache hit/miss deltas and simulated latency its partition
+produced.  Requests are dispatched under one worker-level mutex, so a
+shard processes its queue serially -- the real concurrency unit is the
+shard *process*, which is exactly what the throughput benchmark
+measures via each worker's accumulated ``busy_seconds``.
+
+Durability contract: every WAL append is flushed before the RPC reply,
+and the annotation partition is rewritten atomically (temp + rename) on
+every publish/retract, so a SIGKILL at any instant loses no
+acknowledged state; the supervisor's restart simply reloads both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ShardError
+from repro.common.sync import RANK_SCHEDULER, TrackedLock
+from repro.insights.service import InsightsService
+from repro.lifecycle.journal import (
+    CatalogJournal,
+    record_to_view,
+)
+from repro.lifecycle.lineage import LineageRegistry
+from repro.optimizer.context import Annotation
+from repro.shard.protocol import error_payload, recv_frame, send_frame
+from repro.storage.views import ViewStore
+
+#: File the worker's annotation partition persists to (atomically), so a
+#: restarted shard serves the same slice it served before dying.
+ANNOTATIONS_FILE = "annotations.json"
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a shard worker needs; must stay picklable (``spawn``)."""
+
+    shard_id: int
+    shards: int
+    socket_path: str
+    #: Scratch directory for the annotation partition file.
+    state_dir: str
+    #: Per-shard journal directory (``<journal_dir>/shard-NN``); ``None``
+    #: disables the WAL for this deployment.
+    journal_dir: Optional[str] = None
+
+
+def annotation_to_wire(annotation: Annotation) -> Dict[str, object]:
+    return dataclasses.asdict(annotation)
+
+
+def annotation_from_wire(payload: Dict[str, object]) -> Annotation:
+    return Annotation(**payload)
+
+
+class ShardWorker:
+    """The in-process guts of one shard (also used directly by tests)."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.service = InsightsService()
+        self.journal: Optional[CatalogJournal] = None
+        if spec.journal_dir is not None:
+            self.journal = CatalogJournal(spec.journal_dir)
+        # Serial dispatch: one request at a time per shard.  Ranked above
+        # the insights band because the handler body acquires the
+        # service mutex and (leaf-ranked) journal guard underneath.
+        self._dispatch = TrackedLock("shard.worker", RANK_SCHEDULER + 50)
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self.requests_served = 0
+        self.fetch_requests = 0
+        #: Simulated seconds this shard spent serving fetches -- the
+        #: benchmark's per-shard makespan input.
+        self.busy_seconds = 0.0
+        #: The partition as last published, in wire form and publish
+        #: order -- what restart persistence round-trips.
+        self._published: List[Dict[str, object]] = []
+        self._load_annotations()
+
+    # ------------------------------------------------------------------ #
+    # annotation-partition persistence
+
+    @property
+    def _annotations_path(self) -> str:
+        return os.path.join(self.spec.state_dir, ANNOTATIONS_FILE)
+
+    def _load_annotations(self) -> None:
+        path = self._annotations_path
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        self._published = list(payload.get("annotations", ()))
+        self.service.publish(
+            annotation_from_wire(a) for a in self._published)
+
+    def _persist_annotations(self) -> None:
+        os.makedirs(self.spec.state_dir, exist_ok=True)
+        tmp = self._annotations_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"annotations": self._published}, handle,
+                      sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._annotations_path)
+
+    # ------------------------------------------------------------------ #
+    # request dispatch
+
+    def handle(self, method: str, params: Dict[str, object]
+               ) -> Dict[str, object]:
+        with self._dispatch:
+            self.requests_served += 1
+            handler = getattr(self, f"_op_{method}", None)
+            if handler is None:
+                raise ShardError(f"unknown shard RPC method {method!r}")
+            return handler(params)
+
+    # -- serving ------------------------------------------------------- #
+
+    def _op_ping(self, params: Dict[str, object]) -> Dict[str, object]:
+        return {"ok": True, "shard": self.spec.shard_id, "pid": os.getpid()}
+
+    def _op_fetch_tags(self, params: Dict[str, object]) -> Dict[str, object]:
+        tags = list(params["tags"])
+        before = self.service.metrics.snapshot()
+        per_tag: Dict[str, List[Dict[str, object]]] = {}
+        charges: Dict[str, float] = {}
+        latency = 0.0
+        # One tag per serving call so the simulated charge is observable
+        # per tag: the router re-accumulates charges in the *caller's*
+        # tag order, keeping the summed cost bit-identical to the
+        # unsharded service's (a last-ulp drift could flip a client
+        # timeout decision right at the boundary).  The serving-cache
+        # accounting is unchanged -- ``_charge_tag`` runs once per tag
+        # either way.
+        for tag in tags:
+            fetched = self.service.fetch_tag_annotations([tag])
+            charge = self.service.last_fetch_latency
+            charges[tag] = charge
+            latency += charge
+            per_tag[tag] = [annotation_to_wire(a)
+                            for a in fetched.get(tag, ())]
+        after = self.service.metrics.snapshot()
+        self.fetch_requests += 1
+        self.busy_seconds += latency
+        return {
+            "tags": per_tag,
+            "charges": charges,
+            "latency": latency,
+            "cache_hits": after["cache_hits"] - before["cache_hits"],
+            "cache_misses": after["cache_misses"] - before["cache_misses"],
+        }
+
+    def _op_publish(self, params: Dict[str, object]) -> Dict[str, object]:
+        annotations = list(params["annotations"])
+        count = self.service.publish(
+            annotation_from_wire(a) for a in annotations)
+        self._published = annotations
+        self._persist_annotations()
+        return {"count": count}
+
+    def _op_retract(self, params: Dict[str, object]) -> Dict[str, object]:
+        wanted = set(params["recurring"])
+        removed = self.service.retract(wanted)
+        if removed:
+            self._published = [
+                a for a in self._published
+                if a["recurring_signature"] not in wanted]
+            self._persist_annotations()
+        return {"removed": removed}
+
+    def _op_bump_generation(self, params: Dict[str, object]
+                            ) -> Dict[str, object]:
+        # Only the serving-cache clear matters here; the authoritative
+        # generation counter lives in the router.
+        return {"generation": self.service.bump_generation()}
+
+    def _op_annotation_count(self, params: Dict[str, object]
+                             ) -> Dict[str, object]:
+        return {"count": self.service.annotation_count()}
+
+    # -- view locks ---------------------------------------------------- #
+
+    def _op_lock_acquire(self, params: Dict[str, object]
+                         ) -> Dict[str, object]:
+        signature = str(params["signature"])
+        acquired = self.service.acquire_view_lock(
+            signature, str(params["holder"]))
+        return {"acquired": acquired,
+                "holder": self.service.lock_holder(signature)}
+
+    def _op_lock_release(self, params: Dict[str, object]
+                         ) -> Dict[str, object]:
+        self.service.release_view_lock(
+            str(params["signature"]), str(params["holder"]))
+        return {"ok": True}
+
+    def _op_lock_force_release(self, params: Dict[str, object]
+                               ) -> Dict[str, object]:
+        signature = str(params["signature"])
+        holder = self.service.lock_holder(signature)
+        released = self.service.force_release_lock(signature)
+        return {"released": released, "holder": holder}
+
+    def _op_lock_holder(self, params: Dict[str, object]
+                        ) -> Dict[str, object]:
+        return {"holder": self.service.lock_holder(
+            str(params["signature"]))}
+
+    def _op_held_locks(self, params: Dict[str, object]
+                       ) -> Dict[str, object]:
+        return {"locks": self.service.held_locks()}
+
+    def _op_report_available(self, params: Dict[str, object]
+                             ) -> Dict[str, object]:
+        self.service.report_view_available(
+            str(params["signature"]), str(params["holder"]))
+        return {"ok": True}
+
+    # -- the per-shard WAL --------------------------------------------- #
+
+    def _require_journal(self) -> CatalogJournal:
+        if self.journal is None:
+            raise ShardError(
+                f"shard {self.spec.shard_id} was started without a "
+                f"journal directory")
+        return self.journal
+
+    def _op_journal_append(self, params: Dict[str, object]
+                           ) -> Dict[str, object]:
+        self._require_journal().append_record(
+            str(params["op"]), dict(params["payload"]),
+            torn=bool(params.get("torn", False)))
+        return {"ok": True}
+
+    def _op_journal_snapshot(self, params: Dict[str, object]
+                             ) -> Dict[str, object]:
+        """Snapshot this shard's slice of the *live* global state.
+
+        The router sends each shard the view records, lineage entries,
+        and (shard 0 only) aggregate counters belonging to it; building
+        a fresh store from that slice and snapshotting it heals any WAL
+        ops lost to injected torn/storage faults, exactly like the
+        single-journal manager snapshotting the live store.
+        """
+        store = ViewStore()
+        for record in params.get("views", ()):
+            store.restore(record_to_view(record))
+        store.restore_counters(dict(params.get("counters", {})))
+        lineage = LineageRegistry()
+        lineage.restore(dict(params.get("lineage", {})))
+        path = self._require_journal().snapshot(
+            store, lineage, epoch=int(params.get("epoch", 0)),
+            runtime_version=str(params.get("runtime_version", "")))
+        return {"path": path}
+
+    def _op_journal_recover(self, params: Dict[str, object]
+                            ) -> Dict[str, object]:
+        store = ViewStore()
+        lineage = LineageRegistry()
+        report = self._require_journal().recover(store, lineage)
+        return {
+            "views": [v.catalog_record() for v in
+                      sorted(store.views(), key=lambda v: v.signature)],
+            "counters": store.counters(),
+            "lineage": lineage.snapshot(),
+            "epoch": report.epoch,
+            "runtime_version": report.runtime_version,
+            "snapshot_views": report.snapshot_views,
+            "wal_ops": report.wal_ops,
+            "torn_lines": report.torn_lines,
+            "skipped": report.skipped,
+        }
+
+    def _op_journal_stats(self, params: Dict[str, object]
+                          ) -> Dict[str, object]:
+        journal = self.journal
+        return {"stats": None if journal is None else journal.stats()}
+
+    # -- operational --------------------------------------------------- #
+
+    def _op_stats(self, params: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "shard": self.spec.shard_id,
+            "pid": os.getpid(),
+            "requests_served": self.requests_served,
+            "fetch_requests": self.fetch_requests,
+            "busy_seconds": self.busy_seconds,
+            "annotations": self.service.annotation_count(),
+            "held_locks": len(self.service.held_locks()),
+            "usage": self.service.metrics.snapshot(),
+            "journal": (self.journal.stats()
+                        if self.journal is not None else None),
+        }
+
+    def _op_shutdown(self, params: Dict[str, object]) -> Dict[str, object]:
+        self._stop.set()
+        return {"ok": True}
+
+    # ------------------------------------------------------------------ #
+    # the socket server
+
+    def serve_forever(self) -> None:
+        """Bind, accept, and dispatch until asked to shut down."""
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if os.path.exists(self.spec.socket_path):
+            os.unlink(self.spec.socket_path)
+        listener.bind(self.spec.socket_path)
+        listener.listen(64)
+        self._listener = listener
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    break  # listener closed by shutdown
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    name=f"shard-{self.spec.shard_id}-conn", daemon=True)
+                thread.start()
+        finally:
+            listener.close()
+            self._cleanup()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                request = recv_frame(conn)
+                if request is None:
+                    return
+                reply: Dict[str, object] = {"id": request.get("id")}
+                method = str(request.get("method", ""))
+                try:
+                    reply["result"] = self.handle(
+                        method, dict(request.get("params", {})))
+                except Exception as error:  # noqa: BLE001 - wire boundary
+                    reply["error"] = error_payload(error)
+                send_frame(conn, reply)
+                if method == "shutdown" and "result" in reply:
+                    # Unblock the accept loop so the process exits.
+                    if self._listener is not None:
+                        self._listener.close()
+                    return
+        except (OSError, ShardError):
+            return  # peer vanished; the router handles its own retry
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _cleanup(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+        try:
+            os.unlink(self.spec.socket_path)
+        except OSError:
+            pass
+
+
+def worker_main(spec: WorkerSpec) -> None:
+    """Child-process entry point (top level so ``spawn`` can pickle it)."""
+    ShardWorker(spec).serve_forever()

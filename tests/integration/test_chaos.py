@@ -39,6 +39,22 @@ class TestCampaigns:
         assert campaign_plan(3).to_json() == campaign_plan(3).to_json()
         assert campaign_plan(3).to_json() != campaign_plan(4).to_json()
 
+    def test_sharded_plan_extends_classic_without_reordering(self):
+        classic = campaign_plan(3).specs
+        sharded = campaign_plan(3, shards=2).specs
+        assert sharded[:len(classic)] == classic
+        extra = sharded[len(classic):]
+        assert extra and all(s.point.startswith("shard.") for s in extra)
+
+    def test_sharded_campaign_survives_kills_and_shard_faults(self):
+        # Seed 5's sharded plan draws shard.death:crash, so this run
+        # covers injected SIGKILLs at the router *and* the scripted
+        # kill+restart at every faulted day boundary.
+        report = run_campaign([5], backend="memory", days=2, shards=2)
+        assert report.ok, report.summary()
+        assert "shard." in report.seeds[0].plan
+        assert report.seeds[0].fired.get("fired_total", 0) > 0
+
     def test_cli_chaos_passes(self, capsys):
         assert main(["chaos", "--seed", "0", "--backend", "memory",
                      "--days", "2"]) == 0

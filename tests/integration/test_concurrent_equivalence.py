@@ -1,10 +1,16 @@
-"""Worker-count invariance of the wave-parallel simulation.
+"""Worker- and shard-count invariance of the wave-parallel simulation.
 
 The acceptance bar of the concurrent frontend: running the cooking
 workload with 8 scheduler threads must leave the system in a
 byte-identical state to running it with 1 -- same view catalog digest,
 same reuse counts, same per-job outcomes, same workload repository.
 Only wall-clock time may differ.
+
+The sharded insights deployment extends the same bar across process
+counts: the multi-process service behind the router must be
+indistinguishable from the in-process one for any ``shards`` value,
+because routing partitions by signature hash and the router
+re-accumulates per-tag serving charges in the caller's tag order.
 """
 
 import pytest
@@ -12,18 +18,24 @@ import pytest
 from repro.scheduler import ConcurrentSimulation, ConcurrentSimulationConfig
 from repro.workload.generator import generate_workload
 
+BASELINE = (1, 0)
+#: (workers, shards) deployments that must all converge on the baseline.
+VARIANTS = ((8, 0), (2, 1), (2, 2), (4, 4))
 
-def run_simulation(workers, days=3, seed=7):
+
+def run_simulation(workers, shards=0, days=3, seed=7):
     workload = generate_workload(seed=seed)
     simulation = ConcurrentSimulation(
         workload,
-        ConcurrentSimulationConfig(days=days, workers=workers))
+        ConcurrentSimulationConfig(days=days, workers=workers,
+                                   shards=shards))
     return simulation.run()
 
 
 @pytest.fixture(scope="module")
 def reports():
-    return {workers: run_simulation(workers) for workers in (1, 8)}
+    return {(workers, shards): run_simulation(workers, shards)
+            for workers, shards in (BASELINE,) + VARIANTS}
 
 
 def job_outcome(result):
@@ -38,35 +50,58 @@ def job_outcome(result):
             result.views_reused, sorted(map(repr, result.rows)))
 
 
-class TestWorkerCountInvariance:
-    def test_catalog_digest_identical(self, reports):
-        assert reports[1].catalog_digest == reports[8].catalog_digest
+class TestDeploymentInvariance:
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: f"w{v[0]}s{v[1]}")
+    def test_catalog_digest_identical(self, reports, variant):
+        assert (reports[variant].catalog_digest
+                == reports[BASELINE].catalog_digest)
 
-    def test_reuse_counts_identical(self, reports):
-        assert reports[1].views_created == reports[8].views_created
-        assert reports[1].views_reused == reports[8].views_reused
-        assert reports[1].views_created > 0
-        assert reports[1].views_reused > 0
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: f"w{v[0]}s{v[1]}")
+    def test_reuse_counts_identical(self, reports, variant):
+        assert (reports[variant].views_created
+                == reports[BASELINE].views_created)
+        assert (reports[variant].views_reused
+                == reports[BASELINE].views_reused)
+        assert reports[BASELINE].views_created > 0
+        assert reports[BASELINE].views_reused > 0
 
-    def test_every_job_outcome_identical(self, reports):
-        one = [job_outcome(r) for r in reports[1].results]
-        eight = [job_outcome(r) for r in reports[8].results]
-        assert one == eight
-        assert len(one) > 50
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: f"w{v[0]}s{v[1]}")
+    def test_every_job_outcome_identical(self, reports, variant):
+        base = [job_outcome(r) for r in reports[BASELINE].results]
+        other = [job_outcome(r) for r in reports[variant].results]
+        assert base == other
+        assert len(base) > 50
 
-    def test_no_failures_in_either_run(self, reports):
-        assert reports[1].failures == 0
-        assert reports[8].failures == 0
+    def test_no_failures_in_any_run(self, reports):
+        for report in reports.values():
+            assert report.failures == 0
 
-    def test_workload_repository_identical(self, reports):
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: f"w{v[0]}s{v[1]}")
+    def test_workload_repository_identical(self, reports, variant):
         def rows(report):
             return [(j.job_id, j.template_id, j.submit_time,
                      j.subexpression_count)
                     for j in report.repository.jobs]
-        assert rows(reports[1]) == rows(reports[8])
+        assert rows(reports[BASELINE]) == rows(reports[variant])
 
-    def test_selection_epochs_identical(self, reports):
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: f"w{v[0]}s{v[1]}")
+    def test_selection_epochs_identical(self, reports, variant):
         def epochs(report):
             return [sorted(c.recurring for c in s.selected)
                     for s in report.selections]
-        assert epochs(reports[1]) == epochs(reports[8])
+        assert epochs(reports[BASELINE]) == epochs(reports[variant])
+
+    def test_sharded_runs_report_per_shard_stats(self, reports):
+        for (_, shards), report in reports.items():
+            if shards == 0:
+                assert report.shard_stats is None
+                continue
+            assert len(report.shard_stats) == shards
+            assert sum(report.shard_busy_seconds) > 0.0
+            assert sum(s["fetch_requests"]
+                       for s in report.shard_stats) > 0

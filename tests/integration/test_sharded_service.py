@@ -1,0 +1,206 @@
+"""Integration tests: the sharded insights deployment end to end.
+
+The contract under test: N shard worker processes behind the
+:class:`ShardRouter` present exactly the same service surface, the same
+annotation results, and the *bit-identical* simulated serving latency
+as the in-process :class:`InsightsService` -- and when shards die, the
+failure is absorbed by the same ladder the in-process deployment uses
+(router retry + supervisor restart, then the client's circuit breaker
+degrading affected signatures to no-reuse, never failing a job).
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.catalog import schema_of
+from repro.common.errors import InsightsError, InsightsTimeout
+from repro.common.hashing import shard_for
+from repro.config import SessionConfig
+from repro.core import MultiLevelControls
+from repro.faults import FaultPlan, FaultRuntime, FaultSpec, points
+from repro.insights import InsightsClient
+from repro.insights.client import OPEN
+from repro.insights.service import InsightsService
+from repro.optimizer.context import Annotation
+from repro.selection import SelectionPolicy
+from repro.shard import ShardConfig, ShardRouter, ShardSupervisor
+
+
+def make_annotations(count=16):
+    return [Annotation(recurring_signature=f"sig-{i}", tag=f"tag-{i % 8}",
+                       expected_rows=i, expected_bytes=100 * i,
+                       virtual_cluster="vc1")
+            for i in range(count)]
+
+
+def plain(annotation):
+    return (annotation.recurring_signature, annotation.tag,
+            annotation.expected_rows, annotation.expected_bytes,
+            annotation.virtual_cluster)
+
+
+@pytest.fixture(params=[1, 2, 4], ids=lambda n: f"shards{n}")
+def deployment(request):
+    supervisor = ShardSupervisor(ShardConfig(shards=request.param))
+    supervisor.start()
+    router = ShardRouter(supervisor)
+    yield supervisor, router
+    router.close()
+    supervisor.close()
+
+
+class TestServiceParity:
+    """Router vs in-process service on the same publish/fetch sequence."""
+
+    def test_publish_and_fetch_match_in_process(self, deployment):
+        _, router = deployment
+        service = InsightsService()
+        published = make_annotations()
+        assert router.publish(published) == service.publish(published)
+        assert router.annotation_count() == service.annotation_count()
+        tags = [f"tag-{i}" for i in range(8)] + ["ghost-tag"]
+        sharded = router.fetch_tag_annotations(tags)
+        local = service.fetch_tag_annotations(tags)
+        assert set(sharded) == set(local)
+        for tag in tags:
+            assert (sorted(map(plain, sharded[tag]))
+                    == sorted(map(plain, local[tag])))
+
+    def test_fetch_latency_is_bit_identical(self, deployment):
+        _, router = deployment
+        service = InsightsService()
+        router.publish(make_annotations())
+        service.publish(make_annotations())
+        tags = [f"tag-{i}" for i in range(8)]
+        # Cold pass (all serving-cache misses), then warm pass: the
+        # router re-accumulates per-tag charges in the caller's tag
+        # order, so the floats must match exactly, not approximately.
+        for _ in range(2):
+            router.fetch_tag_annotations(tags)
+            service.fetch_tag_annotations(tags)
+            assert router.last_fetch_latency == service.last_fetch_latency
+
+    def test_retract_removes_everywhere(self, deployment):
+        _, router = deployment
+        router.publish(make_annotations())
+        removed = router.retract({"sig-0", "sig-7", "nope"})
+        assert removed == 2
+        assert router.annotation_count() == len(make_annotations()) - 2
+        fetched = router.fetch_tag_annotations(["tag-0", "tag-7"])
+        signatures = {a.recurring_signature
+                      for annotations in fetched.values()
+                      for a in annotations}
+        assert "sig-0" not in signatures and "sig-7" not in signatures
+
+    def test_view_locks_route_and_exclude(self, deployment):
+        _, router = deployment
+        signatures = [f"strict-{i}" for i in range(8)]
+        for signature in signatures:
+            assert router.acquire_view_lock(signature, holder="job-a")
+            assert not router.acquire_view_lock(signature, holder="job-b")
+            assert router.lock_holder(signature) == "job-a"
+        assert set(router.held_locks()) == set(signatures)
+        router.release_view_lock(signatures[0], holder="job-a")
+        assert router.lock_holder(signatures[0]) is None
+        assert router.force_release_lock(signatures[1])
+        assert router.acquire_view_lock(signatures[1], holder="job-b")
+
+
+class TestShardDeathHealing:
+    def test_sigkill_heals_on_next_rpc_with_state_intact(self, deployment):
+        supervisor, router = deployment
+        before = router.annotation_count()
+        assert router.publish(make_annotations()) == len(make_annotations())
+        for shard_id in range(supervisor.config.shards):
+            supervisor.kill(shard_id)
+        # The next RPC finds dead sockets, asks the supervisor to
+        # restart, and the respawned workers reload their persisted
+        # annotation files -- nothing acknowledged is lost.
+        assert router.annotation_count() == before + len(make_annotations())
+        assert sum(supervisor.restarts) == supervisor.config.shards
+
+    def test_injected_rpc_faults_surface_as_taxonomy_errors(self):
+        supervisor = ShardSupervisor(ShardConfig(shards=2))
+        supervisor.start()
+        router = ShardRouter(supervisor, faults=FaultRuntime(FaultPlan(
+            specs=(FaultSpec(points.SHARD_RPC, "drop", max_fires=1),
+                   FaultSpec(points.SHARD_RPC, "error", max_fires=1)),
+            seed=0, name="rpc-faults")))
+        try:
+            with pytest.raises(InsightsTimeout):
+                router.fetch_tag_annotations(["tag-0"])
+            with pytest.raises(InsightsError):
+                router.fetch_tag_annotations(["tag-0"])
+            # Fault budget exhausted: the deployment serves again.
+            assert router.fetch_tag_annotations(["tag-0"]) == {"tag-0": []}
+        finally:
+            router.close()
+            supervisor.close()
+
+
+class TestDeadShardDegradesNotFails:
+    """ISSUE satellite: a dead shard trips the circuit breaker and
+    degrades affected signatures to no-reuse without failing jobs."""
+
+    def test_breaker_opens_and_fetches_degrade(self):
+        supervisor = ShardSupervisor(
+            ShardConfig(shards=2, restart_dead=False))
+        supervisor.start()
+        router = ShardRouter(supervisor)
+        client = InsightsClient(router)
+        try:
+            client.publish(make_annotations())
+            dead = 0
+            supervisor.kill(dead)
+            dead_tags = [t for t in (f"probe-{i}" for i in range(64))
+                         if shard_for(t, 2) == dead]
+            threshold = client.config.breaker_failure_threshold
+            assert len(dead_tags) >= threshold
+            for i in range(threshold):
+                fetched = client.fetch_annotations([dead_tags[i]],
+                                                   now=float(i))
+                assert fetched == {}
+                assert client.last_fetch_degraded
+            assert client.breaker.state == OPEN
+            # restart_dead=False: the supervisor refused to revive it.
+            assert supervisor.restarts == [0, 0]
+        finally:
+            router.close()
+            supervisor.close()
+
+    def test_jobs_complete_reuse_free_with_all_shards_dead(self):
+        controls = MultiLevelControls()
+        controls.enable_vc("vc1")
+        session = Session(
+            config=SessionConfig(
+                shard=ShardConfig(shards=2, restart_dead=False)),
+            controls=controls,
+            selection_algorithm="bigsubs",
+            policy=SelectionPolicy(storage_budget_bytes=10_000_000,
+                                   min_reuses_per_epoch=0.0),
+        )
+        try:
+            session.register_table(
+                schema_of("Events", [("Day", "str"), ("Value", "float")]),
+                [dict(Day=f"d{i % 3}", Value=float(i)) for i in range(30)])
+            sql = ("SELECT Day, SUM(Value) AS total FROM Events "
+                   "GROUP BY Day")
+            expected = None
+            for _ in range(2):
+                result = session.run(sql, virtual_cluster="vc1",
+                                     template_id="t-dead-shard")
+                expected = sorted(map(repr, result.rows))
+                session.analyze_and_publish()
+            for shard_id in range(2):
+                session.supervisor.kill(shard_id)
+            # Every subsequent job must still complete with correct
+            # rows; the degraded client compiles them reuse-free.
+            reused_before = session.views_reused
+            for i in range(6):
+                result = session.run(sql, virtual_cluster="vc1",
+                                     template_id="t-dead-shard")
+                assert sorted(map(repr, result.rows)) == expected
+            assert session.views_reused == reused_before
+            assert session.engine.insights.degraded_fetches > 0
+        finally:
+            session.close()

@@ -243,7 +243,14 @@ class TestSessionShutdown:
             policy=SelectionPolicy(min_reuses_per_epoch=0.0),
             lifecycle=LifecycleConfig(journal_dir=journal_dir,
                                       start_janitor=True,
-                                      gc_interval_seconds=0.01))
+                                      gc_interval_seconds=0.01,
+                                      # Pin the janitor to simulated time:
+                                      # with the wall-clock default, an
+                                      # autonomous sweep firing between
+                                      # the last run (now=10.0) and
+                                      # close() sees the views as long
+                                      # expired and empties the snapshot.
+                                      clock=lambda: 10.0))
         install_tables(session.engine)
         session.run(SQL, now=0.0)
         session.run(SQL, now=1.0)

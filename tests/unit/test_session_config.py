@@ -10,6 +10,7 @@ from repro.common.errors import ConfigError
 from repro.config import SessionConfig
 from repro.engine.engine import EngineConfig
 from repro.scheduler.scheduler import SchedulerConfig
+from repro.shard import ShardConfig
 
 
 class TestFromEnv:
@@ -38,6 +39,11 @@ class TestFromEnv:
         assert config.engine.view_ttl_seconds == 3600.0
         assert config.selection_algorithm == "bigsubs"
 
+    def test_reads_shards(self):
+        config = SessionConfig.from_env({"REPRO_SHARDS": "4"})
+        assert config.shards == 4
+        assert config.resolve_shard().shards == 4
+
     def test_lifecycle_only_when_requested(self):
         config = SessionConfig.from_env({
             "REPRO_JOURNAL_DIR": "/tmp/journal",
@@ -57,6 +63,43 @@ class TestToDict:
         # Must be JSON-serializable all the way down.
         import json
         json.dumps(dumped)
+
+    def test_shard_config_dumps_as_plain_data(self):
+        import json
+        dumped = SessionConfig(
+            shard=ShardConfig(shards=2, restart_dead=False)).to_dict()
+        assert dumped["shard"]["shards"] == 2
+        assert dumped["shard"]["restart_dead"] is False
+        json.dumps(dumped)
+
+
+class TestResolveShard:
+    def test_default_is_in_process(self):
+        assert SessionConfig().resolve_shard() is None
+
+    def test_shards_count_builds_default_deployment(self):
+        resolved = SessionConfig(shards=4).resolve_shard()
+        assert resolved.shards == 4
+        assert resolved.restart_dead is True
+
+    def test_full_shard_config_wins_over_count(self):
+        config = SessionConfig(
+            shards=8, shard=ShardConfig(shards=2, restart_dead=False))
+        resolved = config.resolve_shard()
+        assert resolved.shards == 2
+        assert resolved.restart_dead is False
+
+    def test_disabled_shard_config_falls_back_to_count(self):
+        config = SessionConfig(shards=3, shard=ShardConfig(shards=0))
+        assert config.resolve_shard().shards == 3
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardConfig(shards=-1)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardConfig(shards=2, start_method="teleport")
 
 
 class TestSessionPrecedence:
